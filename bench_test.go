@@ -1,0 +1,87 @@
+package ccnic_test
+
+// One benchmark per paper table and figure. Each regenerates its experiment
+// (in quick mode, so the full bench suite completes in minutes) and reports
+// the headline quantity as a custom metric alongside wall-clock time. Run
+// `go run ./cmd/ccbench -all` for the full-scale regeneration.
+
+import (
+	"testing"
+
+	"ccnic"
+	"ccnic/internal/experiments"
+	"ccnic/internal/sim"
+)
+
+// runExperiment executes the registered experiment b.N times.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e := experiments.ByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		r := e.Run(experiments.Options{Quick: true})
+		if len(r.Groups) == 0 && len(r.Tables) == 0 {
+			b.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B)   { runExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)   { runExperiment(b, "fig3") }
+func BenchmarkFig7(b *testing.B)   { runExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { runExperiment(b, "fig9") }
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { runExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { runExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { runExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { runExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { runExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)  { runExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B)  { runExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B)  { runExperiment(b, "fig19") }
+func BenchmarkFig20(b *testing.B)  { runExperiment(b, "fig20") }
+func BenchmarkFig21(b *testing.B)  { runExperiment(b, "fig21") }
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkLoopbackCCNIC reports the simulated peak 64B packet rate of the
+// CC-NIC interface on ICX (8 cores) as a custom metric — the quickest check
+// that model changes have not shifted the headline result.
+func BenchmarkLoopbackCCNIC(b *testing.B) {
+	var mpps float64
+	for i := 0; i < b.N; i++ {
+		tb := ccnic.NewTestbed(ccnic.Config{
+			Platform: "ICX", Interface: ccnic.CCNIC, Queues: 8, HostPrefetch: true,
+		})
+		res := tb.RunLoopback(ccnic.LoopbackOptions{
+			PktSize: 64, Window: 128,
+			Warmup: 20 * sim.Microsecond, Measure: 60 * sim.Microsecond,
+		})
+		mpps = res.Mpps()
+	}
+	b.ReportMetric(mpps, "sim-Mpps")
+}
+
+// BenchmarkKernel measures the raw event throughput of the simulation
+// kernel itself (host-side cost of the whole suite).
+func BenchmarkKernel(b *testing.B) {
+	k := sim.New()
+	k.Spawn("spin", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(sim.Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// Extension experiments (paper §3.2 / §6 directions).
+func BenchmarkExtDSA(b *testing.B)   { runExperiment(b, "ext-dsa") }
+func BenchmarkExtEvent(b *testing.B) { runExperiment(b, "ext-event") }
+func BenchmarkExtNetfn(b *testing.B) { runExperiment(b, "ext-netfn") }
+func BenchmarkExtCXL(b *testing.B)   { runExperiment(b, "ext-cxl") }

@@ -1,0 +1,64 @@
+// Command ccbench regenerates the tables and figures of the CC-NIC paper's
+// evaluation from the simulation models.
+//
+// Usage:
+//
+//	ccbench -list           list available experiments
+//	ccbench fig11 fig17     run specific experiments
+//	ccbench -all            run everything (minutes)
+//	ccbench -quick fig12    run with reduced core counts and sweep points
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ccnic/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	all := flag.Bool("all", false, "run every experiment")
+	quick := flag.Bool("quick", false, "reduced scale: fewer cores, points, and shorter windows")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ccbench [-quick] [-all | -list | <id>...]\n\n")
+		fmt.Fprintf(os.Stderr, "Regenerates the CC-NIC paper's evaluation tables and figures.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n         paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	var ids []string
+	if *all {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = flag.Args()
+	}
+	if len(ids) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := experiments.Options{Quick: *quick}
+	for _, id := range ids {
+		e := experiments.ByID(id)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		report := e.Run(opt)
+		fmt.Println(report.Format())
+		fmt.Printf("paper: %s\n[%s completed in %s]\n\n", e.Paper, e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

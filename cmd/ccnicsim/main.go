@@ -1,0 +1,133 @@
+// Command ccnicsim runs a single configurable simulation: choose the
+// platform, host-NIC interface, core count, workload, and load, and get
+// throughput, latency percentiles, interconnect statistics, and (optionally)
+// a packet-lifecycle breakdown. It is the exploratory companion to
+// ccbench's fixed paper experiments.
+//
+// Examples:
+//
+//	ccnicsim -iface ccnic -queues 8 -pkt 64
+//	ccnicsim -iface e810 -queues 4 -pkt 1536 -rate 2e6
+//	ccnicsim -platform SPR -iface unopt -queues 16 -trace
+//	ccnicsim -iface overlay -workload kv -dist geo -queues 4
+//	ccnicsim -platform CXL -iface ccnic -queues 8 -workload forward
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ccnic"
+	"ccnic/internal/sim"
+)
+
+func main() {
+	var (
+		platName = flag.String("platform", "ICX", "platform: ICX, SPR, or CXL")
+		ifaceStr = flag.String("iface", "ccnic", "interface: ccnic, unopt, e810, cx6, overlay, overlay-unopt")
+		queues   = flag.Int("queues", 4, "host threads / queue pairs")
+		pkt      = flag.Int("pkt", 64, "packet size in bytes")
+		rate     = flag.Float64("rate", 0, "offered packets/s per queue (0 = closed-loop max)")
+		window   = flag.Int("window", 128, "closed-loop in-flight window per queue")
+		txBatch  = flag.Int("txbatch", 32, "TX burst size")
+		rxBatch  = flag.Int("rxbatch", 32, "RX burst size")
+		workload = flag.String("workload", "loopback", "workload: loopback, forward, kv, rpc")
+		dist     = flag.String("dist", "ads", "kv object distribution: ads or geo")
+		measure  = flag.Float64("measure", 150, "measurement window in microseconds")
+		prefetch = flag.Bool("prefetch", true, "host hardware prefetching")
+		doTrace  = flag.Bool("trace", false, "sample packet lifecycles and print a stage breakdown (loopback only)")
+		overlayN = flag.Int("overlay-threads", 0, "overlay forwarding threads (0 = one per queue)")
+	)
+	flag.Parse()
+
+	iface, ok := map[string]ccnic.Interface{
+		"ccnic":         ccnic.CCNIC,
+		"unopt":         ccnic.UnoptUPI,
+		"e810":          ccnic.E810,
+		"cx6":           ccnic.CX6,
+		"overlay":       ccnic.OverlayCCNIC,
+		"overlay-unopt": ccnic.OverlayUnopt,
+	}[strings.ToLower(*ifaceStr)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ccnicsim: unknown interface %q\n", *ifaceStr)
+		os.Exit(1)
+	}
+
+	tb := ccnic.NewTestbed(ccnic.Config{
+		Platform:       *platName,
+		Interface:      iface,
+		Queues:         *queues,
+		HostPrefetch:   *prefetch,
+		OverlayThreads: *overlayN,
+	})
+	meas := sim.Time(*measure * float64(sim.Microsecond))
+	warm := meas / 3
+
+	fmt.Printf("platform %s, interface %v, %d queues, %dB packets\n\n",
+		tb.Plat.Name, iface, *queues, *pkt)
+
+	switch *workload {
+	case "loopback":
+		var tr *ccnic.Tracer
+		if *doTrace {
+			tr = ccnic.NewTracer(4, 8192)
+		}
+		res := tb.RunLoopbackTraced(ccnic.LoopbackOptions{
+			PktSize: *pkt, Rate: *rate, Window: *window,
+			TxBatch: *txBatch, RxBatch: *rxBatch,
+			Warmup: warm, Measure: meas,
+		}, tr)
+		fmt.Printf("throughput: %8.2f Mpps (%.1f Gbps payload)\n", res.Mpps(), res.Gbps)
+		fmt.Printf("latency:    median %v   p99 %v   min %v   max %v\n",
+			res.Latency.Median(), res.Latency.Percentile(0.99),
+			res.Latency.Min(), res.Latency.Max())
+		if tr != nil {
+			fmt.Println()
+			fmt.Print(tr.Report())
+		}
+	case "forward":
+		r := *rate
+		if r == 0 {
+			r = 5e6
+		}
+		res := tb.RunForward(ccnic.LoopbackOptions{
+			PktSize: *pkt, Warmup: warm, Measure: meas,
+		}, r)
+		fmt.Printf("forwarded: %8.2f Mpps (%.1f Gbps)\n", res.Mpps(), res.Gbps)
+	case "kv":
+		r := *rate
+		if r == 0 {
+			r = 10e6
+		}
+		res := tb.RunKVStore(ccnic.KVOptions{
+			Dist: *dist, RatePerQueue: r, Seed: 7,
+			Warmup: warm, Measure: meas,
+		})
+		fmt.Printf("kv store:  %8.2f Mops (%d gets, %d sets processed)\n",
+			res.Mops(), res.Gets, res.Sets)
+	case "rpc":
+		r := *rate
+		if r == 0 {
+			r = 30e6
+		}
+		res := tb.RunRPC(ccnic.RPCOptions{
+			RPCSize: *pkt, RatePerQueue: r,
+			Warmup: warm, Measure: meas,
+		})
+		fmt.Printf("echo rpc:  %8.2f Mops\n", res.Mops())
+	default:
+		fmt.Fprintf(os.Stderr, "ccnicsim: unknown workload %q\n", *workload)
+		os.Exit(1)
+	}
+
+	st := tb.Sys.Link().Stats()
+	now := tb.Kernel.Now()
+	fmt.Printf("\ninterconnect: %.1f/%.1f GB wire to-NIC/to-host, utilization %.0f%%/%.0f%%\n",
+		float64(st.WireBytes[0])/1e9, float64(st.WireBytes[1])/1e9,
+		tb.Sys.Link().Utilization(0, now)*100, tb.Sys.Link().Utilization(1, now)*100)
+	c0, c1 := tb.Sys.Counters(0), tb.Sys.Counters(1)
+	fmt.Printf("remote accesses: host %d rd / %d rfo, NIC-side %d rd / %d rfo\n",
+		c0.RemoteRead, c0.RemoteRFO, c1.RemoteRead, c1.RemoteRFO)
+}

@@ -1,0 +1,46 @@
+package ccnic
+
+import (
+	"testing"
+
+	"ccnic/internal/sim"
+)
+
+// TestEndToEndDeterminism runs an identical full-stack workload twice and
+// requires bit-identical results — the property that makes every experiment
+// in this repository reproducible.
+func TestEndToEndDeterminism(t *testing.T) {
+	run := func() (float64, sim.Time, sim.Time) {
+		tb := NewTestbed(Config{
+			Platform: "ICX", Interface: CCNIC, Queues: 4, HostPrefetch: true,
+		})
+		res := tb.RunLoopback(LoopbackOptions{
+			PktSize: 64, Window: 64,
+			Warmup: 20 * sim.Microsecond, Measure: 60 * sim.Microsecond,
+		})
+		return res.PPS, res.Latency.Median(), res.Latency.Max()
+	}
+	p1, m1, x1 := run()
+	p2, m2, x2 := run()
+	if p1 != p2 || m1 != m2 || x1 != x2 {
+		t.Fatalf("runs diverged: (%v,%v,%v) vs (%v,%v,%v)", p1, m1, x1, p2, m2, x2)
+	}
+}
+
+// TestDeterminismAcrossInterfaces covers the PCIe pipeline too.
+func TestDeterminismAcrossInterfaces(t *testing.T) {
+	for _, iface := range []Interface{UnoptUPI, E810} {
+		iface := iface
+		run := func() float64 {
+			tb := NewTestbed(Config{Platform: "ICX", Interface: iface, Queues: 2})
+			res := tb.RunLoopback(LoopbackOptions{
+				PktSize: 256, Window: 32,
+				Warmup: 20 * sim.Microsecond, Measure: 40 * sim.Microsecond,
+			})
+			return res.PPS
+		}
+		if a, b := run(), run(); a != b {
+			t.Errorf("%v: runs diverged: %v vs %v", iface, a, b)
+		}
+	}
+}

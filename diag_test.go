@@ -1,0 +1,21 @@
+package ccnic
+
+import (
+	"fmt"
+	"testing"
+
+	"ccnic/internal/sim"
+)
+
+func TestDiagE810(t *testing.T) {
+	tb := NewTestbed(Config{Platform: "ICX", Interface: E810, Queues: 1})
+	res := tb.RunLoopback(LoopbackOptions{PktSize: 64, Warmup: 30 * sim.Microsecond, Measure: 100 * sim.Microsecond})
+	fmt.Printf("E810 1q: %.2f Mpps, median %v min %v p99 %v dropped %d\n",
+		res.Mpps(), res.Latency.Median(), res.Latency.Min(), res.Latency.Percentile(0.99), res.Dropped)
+	tb2 := NewTestbed(Config{Platform: "ICX", Interface: CX6, Queues: 1})
+	res2 := tb2.RunLoopback(LoopbackOptions{PktSize: 64, Warmup: 30 * sim.Microsecond, Measure: 100 * sim.Microsecond})
+	fmt.Printf("CX6 1q: %.2f Mpps, median %v min %v dropped %d\n", res2.Mpps(), res2.Latency.Median(), res2.Latency.Min(), res2.Dropped)
+	tb3 := NewTestbed(Config{Platform: "ICX", Interface: CCNIC, Queues: 1})
+	res3 := tb3.RunLoopback(LoopbackOptions{PktSize: 64, Warmup: 30 * sim.Microsecond, Measure: 100 * sim.Microsecond})
+	fmt.Printf("CCNIC 1q: %.2f Mpps, median %v min %v dropped %d\n", res3.Mpps(), res3.Latency.Median(), res3.Latency.Min(), res3.Dropped)
+}

@@ -1,0 +1,65 @@
+// Forward: the paper's §6 network-function scenario — a header-only
+// middlebox. Packets arrive from the wire, the host inspects one cache line
+// per packet, and retransmits the same buffer. Over the coherent interface
+// the untouched payload stays in the NIC-side cache; over PCIe the full
+// payload is DMA'd to host memory and read back out. The interconnect
+// traffic per forwarded packet makes the difference visible.
+package main
+
+import (
+	"fmt"
+
+	"ccnic/internal/coherence"
+	"ccnic/internal/device"
+	"ccnic/internal/loopback"
+	"ccnic/internal/platform"
+	"ccnic/internal/sim"
+)
+
+func forwardUPI(pktSize int) (mpps, bytesPerPkt float64) {
+	k := sim.New()
+	sys := coherence.NewSystem(k, platform.ICX())
+	sys.SetPrefetch(0, true)
+	host := sys.NewAgent(0, "fwd")
+	nic := sys.NewAgent(1, "nic")
+	dev := device.NewUPI("ccnic", sys, device.CCNICConfig(),
+		[]*coherence.Agent{host}, []*coherence.Agent{nic})
+	res := loopback.RunForward(loopback.Config{
+		Sys: sys, Dev: dev, Hosts: []*coherence.Agent{host},
+		PktSize: pktSize,
+		Warmup:  30 * sim.Microsecond, Measure: 100 * sim.Microsecond,
+	}, 3e6)
+	st := sys.Link().Stats()
+	pkts := res.PPS * (130 * sim.Microsecond).Seconds()
+	return res.Mpps(), float64(st.WireBytes[0]+st.WireBytes[1]) / pkts
+}
+
+func forwardPCIe(pktSize int) (mpps, bytesPerPkt float64) {
+	k := sim.New()
+	sys := coherence.NewSystem(k, platform.ICX())
+	sys.SetPrefetch(0, true)
+	host := sys.NewAgent(0, "fwd")
+	dev := device.NewPCIeNIC(sys, platform.E810(), []*coherence.Agent{host})
+	res := loopback.RunForward(loopback.Config{
+		Sys: sys, Dev: dev, Hosts: []*coherence.Agent{host},
+		PktSize: pktSize,
+		Warmup:  30 * sim.Microsecond, Measure: 100 * sim.Microsecond,
+	}, 3e6)
+	st := dev.Endpoint().Stats()
+	pkts := res.PPS * (130 * sim.Microsecond).Seconds()
+	return res.Mpps(), float64(st.DMABytes[0]+st.DMABytes[1]) / pkts
+}
+
+func main() {
+	fmt.Println("Header-only forwarding: interconnect bytes per packet")
+	fmt.Printf("%-10s %-22s %-22s\n", "pkt size", "CC-NIC (UPI wire B)", "E810 (PCIe DMA B)")
+	for _, size := range []int{256, 1536, 4096} {
+		_, cc := forwardUPI(size)
+		_, pe := forwardPCIe(size)
+		fmt.Printf("%-10d %-22.0f %-22.0f\n", size, cc, pe)
+	}
+	fmt.Println("\nOn the coherent path, per-packet interconnect traffic stays nearly")
+	fmt.Println("flat as payloads grow: the NIC retains payload lines in its cache")
+	fmt.Println("while the host touches only headers. PCIe moves every payload byte")
+	fmt.Println("across the bus twice.")
+}

@@ -1,0 +1,39 @@
+// Latency: sweep offered load on each host-NIC interface and print
+// throughput-latency points — a miniature of the paper's Fig 11, showing
+// where CC-NIC's latency advantage comes from and where each interface
+// saturates.
+package main
+
+import (
+	"fmt"
+
+	"ccnic"
+	"ccnic/internal/sim"
+)
+
+func main() {
+	const queues = 4
+	for _, iface := range []ccnic.Interface{ccnic.CCNIC, ccnic.UnoptUPI, ccnic.E810, ccnic.CX6} {
+		// Closed-loop probe for the peak rate.
+		peak := ccnic.NewTestbed(ccnic.Config{
+			Platform: "ICX", Interface: iface, Queues: queues, HostPrefetch: true,
+		}).RunLoopback(ccnic.LoopbackOptions{
+			PktSize: 64, Window: 128,
+			Warmup: 30 * sim.Microsecond, Measure: 80 * sim.Microsecond,
+		})
+
+		fmt.Printf("%-10s peak %6.1f Mpps\n", iface, peak.Mpps())
+		for _, frac := range []float64{0.1, 0.4, 0.7} {
+			tb := ccnic.NewTestbed(ccnic.Config{
+				Platform: "ICX", Interface: iface, Queues: queues, HostPrefetch: true,
+			})
+			res := tb.RunLoopback(ccnic.LoopbackOptions{
+				PktSize: 64,
+				Rate:    frac * peak.PPS / queues,
+				Warmup:  30 * sim.Microsecond, Measure: 80 * sim.Microsecond,
+			})
+			fmt.Printf("   %3.0f%% load: %6.1f Mpps, median %8v, p99 %8v\n",
+				frac*100, res.Mpps(), res.Latency.Median(), res.Latency.Percentile(0.99))
+		}
+	}
+}

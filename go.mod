@@ -1,0 +1,3 @@
+module ccnic
+
+go 1.22

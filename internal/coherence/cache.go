@@ -1,0 +1,168 @@
+// Package coherence models a two-socket cache-coherent memory system: per
+// core private L2 caches, per-socket shared LLCs, DRAM homed by address, and
+// a MESIF-style protocol over the UPI link.
+//
+// The model is behavioural, not cycle-accurate: each access returns a
+// latency determined by where the line currently lives (calibrated to the
+// paper's Fig 7), updates the global coherence state, and charges the
+// interconnect for any cross-socket transfer. Two protocol details matter
+// enormously for the paper's results and are modeled explicitly:
+//
+//   - Migratory dirty forwarding: reading a line that is Modified in another
+//     cache moves ownership to the reader. This is what lets a co-located
+//     producer/consumer cache line be exchanged with two bus transactions
+//     per roundtrip instead of four (Fig 8, Fig 17).
+//
+//   - Speculative home reads: when the reader is the line's home socket and
+//     the data is dirty in the remote socket, the home memory controller
+//     issues a useless speculative DRAM read, making reader-homed placement
+//     slightly slower than writer-homed (Fig 7's rh/lh gap) — the reason
+//     CC-NIC homes each descriptor ring on its writer.
+//
+// All methods must be called from simulation processes; the kernel's
+// one-runnable-at-a-time guarantee makes the package lock-free by design.
+package coherence
+
+import (
+	"fmt"
+
+	"ccnic/internal/mem"
+)
+
+// State is a per-cache MESIF-style line state. Exclusive-clean is folded
+// into Shared-with-sole-sharer (writes by the sole sharer upgrade silently),
+// and Forward is implicit in the directory's sharer ordering.
+type State uint8
+
+// Line states.
+const (
+	Invalid State = iota
+	Shared
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// entry is one resident cache line; entries form an intrusive LRU list.
+type entry struct {
+	line       mem.Addr
+	state      State
+	prev, next *entry
+}
+
+// Cache is a capacity-limited, fully-associative LRU cache of 64B lines.
+// It models either a core's private L2 or a socket's shared LLC.
+type Cache struct {
+	name   string
+	socket int
+	isLLC  bool
+	capAct int // capacity in lines
+	lines  map[mem.Addr]*entry
+	// LRU list: head.next is most-recent, head.prev is least-recent.
+	head entry
+	sys  *System
+}
+
+func newCache(sys *System, name string, socket int, capBytes int64, isLLC bool) *Cache {
+	c := &Cache{
+		name:   name,
+		socket: socket,
+		isLLC:  isLLC,
+		capAct: int(capBytes / mem.LineSize),
+		lines:  make(map[mem.Addr]*entry),
+		sys:    sys,
+	}
+	c.head.next = &c.head
+	c.head.prev = &c.head
+	return c
+}
+
+// Name returns the cache's debug name.
+func (c *Cache) Name() string { return c.name }
+
+// Socket returns the socket the cache belongs to.
+func (c *Cache) Socket() int { return c.socket }
+
+// Len returns the number of resident lines.
+func (c *Cache) Len() int { return len(c.lines) }
+
+// get returns the entry for line and promotes it to most-recent, or nil.
+func (c *Cache) get(line mem.Addr) *entry {
+	e := c.lines[line]
+	if e != nil {
+		c.unlink(e)
+		c.pushFront(e)
+	}
+	return e
+}
+
+// peek returns the entry without touching recency.
+func (c *Cache) peek(line mem.Addr) *entry { return c.lines[line] }
+
+// insert adds a line in the given state, evicting the LRU line if full.
+// The caller must have updated the directory for the inserted line; insert
+// handles directory maintenance for the victim only.
+func (c *Cache) insert(line mem.Addr, st State) {
+	if e := c.lines[line]; e != nil {
+		e.state = st
+		c.unlink(e)
+		c.pushFront(e)
+		return
+	}
+	for len(c.lines) >= c.capAct {
+		c.evictLRU()
+	}
+	e := &entry{line: line, state: st}
+	c.lines[line] = e
+	c.pushFront(e)
+}
+
+// drop removes a line without writeback bookkeeping (invalidation).
+func (c *Cache) drop(line mem.Addr) {
+	if e := c.lines[line]; e != nil {
+		c.unlink(e)
+		delete(c.lines, line)
+	}
+}
+
+// evictLRU removes the least-recently-used line, handing dirty victims to
+// the system's writeback path.
+func (c *Cache) evictLRU() {
+	e := c.head.prev
+	if e == &c.head {
+		panic("coherence: evict on empty cache")
+	}
+	c.unlink(e)
+	delete(c.lines, e.line)
+	c.sys.evicted(c, e.line, e.state)
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.next = c.head.next
+	e.prev = &c.head
+	c.head.next.prev = e
+	c.head.next = e
+}
+
+func (c *Cache) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// forEach visits all resident lines (for invariant checks in tests).
+func (c *Cache) forEach(fn func(line mem.Addr, st State)) {
+	for a, e := range c.lines {
+		fn(a, e.state)
+	}
+}

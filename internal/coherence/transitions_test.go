@@ -1,0 +1,262 @@
+package coherence
+
+import (
+	"testing"
+
+	"ccnic/internal/mem"
+	"ccnic/internal/platform"
+	"ccnic/internal/sim"
+)
+
+// TestTransitionMatrix drives every (initial line placement, operation)
+// pair through the model and checks the resulting latency class and state.
+// It is the systematic counterpart of the scenario tests.
+func TestTransitionMatrix(t *testing.T) {
+	plat := platform.ICX()
+
+	// Each case prepares a line, performs one access from `host`
+	// (socket 0), and asserts the charged latency.
+	cases := []struct {
+		name  string
+		home  int
+		setup func(p *sim.Proc, s *System, host, peer, nic *Agent, line mem.Addr)
+		op    func(p *sim.Proc, host *Agent, line mem.Addr) sim.Time
+		want  sim.Time
+	}{
+		{
+			name: "read uncached local-homed",
+			home: 0,
+			op:   func(p *sim.Proc, h *Agent, l mem.Addr) sim.Time { return h.Read(p, l, 64) },
+			want: plat.LocalDRAM,
+		},
+		{
+			name: "read uncached remote-homed",
+			home: 1,
+			op:   func(p *sim.Proc, h *Agent, l mem.Addr) sim.Time { return h.Read(p, l, 64) },
+			want: plat.RemoteDRAM,
+		},
+		{
+			name: "read own dirty line",
+			home: 0,
+			setup: func(p *sim.Proc, s *System, h, peer, nic *Agent, l mem.Addr) {
+				h.Write(p, l, 64)
+			},
+			op:   func(p *sim.Proc, h *Agent, l mem.Addr) sim.Time { return h.Read(p, l, 64) },
+			want: plat.L2Hit,
+		},
+		{
+			name: "read same-socket dirty line",
+			home: 0,
+			setup: func(p *sim.Proc, s *System, h, peer, nic *Agent, l mem.Addr) {
+				peer.Write(p, l, 64)
+			},
+			op:   func(p *sim.Proc, h *Agent, l mem.Addr) sim.Time { return h.Read(p, l, 64) },
+			want: plat.LocalFwd,
+		},
+		{
+			name: "read same-socket clean copy",
+			home: 0,
+			setup: func(p *sim.Proc, s *System, h, peer, nic *Agent, l mem.Addr) {
+				peer.Read(p, l, 64)
+			},
+			op:   func(p *sim.Proc, h *Agent, l mem.Addr) sim.Time { return h.Read(p, l, 64) },
+			want: plat.LocalFwd,
+		},
+		{
+			name: "read remote dirty writer-homed",
+			home: 1,
+			setup: func(p *sim.Proc, s *System, h, peer, nic *Agent, l mem.Addr) {
+				nic.Write(p, l, 64)
+			},
+			op:   func(p *sim.Proc, h *Agent, l mem.Addr) sim.Time { return h.Read(p, l, 64) },
+			want: plat.RemoteRH,
+		},
+		{
+			name: "read remote dirty reader-homed",
+			home: 0,
+			setup: func(p *sim.Proc, s *System, h, peer, nic *Agent, l mem.Addr) {
+				nic.Write(p, l, 64)
+			},
+			op:   func(p *sim.Proc, h *Agent, l mem.Addr) sim.Time { return h.Read(p, l, 64) },
+			want: plat.RemoteLH,
+		},
+		{
+			name: "partial write to uncached local line (RFO fetches)",
+			home: 0,
+			op:   func(p *sim.Proc, h *Agent, l mem.Addr) sim.Time { return h.Write(p, l, 8) },
+			want: plat.LocalDRAM,
+		},
+		{
+			name: "full-line write to uncached local line (ItoM, no fetch)",
+			home: 0,
+			op:   func(p *sim.Proc, h *Agent, l mem.Addr) sim.Time { return h.Write(p, l, 64) },
+			want: plat.LLCHit,
+		},
+		{
+			name: "full-line write over remote dirty copy (ItoM inval)",
+			home: 0,
+			setup: func(p *sim.Proc, s *System, h, peer, nic *Agent, l mem.Addr) {
+				nic.Write(p, l, 64)
+			},
+			op:   func(p *sim.Proc, h *Agent, l mem.Addr) sim.Time { return h.Write(p, l, 64) },
+			want: plat.RemoteInval,
+		},
+		{
+			name: "partial write over remote dirty copy (RFO migrates data)",
+			home: 0,
+			setup: func(p *sim.Proc, s *System, h, peer, nic *Agent, l mem.Addr) {
+				nic.Write(p, l, 64)
+			},
+			op:   func(p *sim.Proc, h *Agent, l mem.Addr) sim.Time { return h.Write(p, l, 8) },
+			want: plat.RemoteLH,
+		},
+		{
+			name: "upgrade with sole copy is silent",
+			home: 0,
+			setup: func(p *sim.Proc, s *System, h, peer, nic *Agent, l mem.Addr) {
+				h.Read(p, l, 64)
+			},
+			op:   func(p *sim.Proc, h *Agent, l mem.Addr) sim.Time { return h.Write(p, l, 8) },
+			want: plat.L2Hit,
+		},
+		{
+			name: "upgrade with remote sharer pays invalidation",
+			home: 0,
+			setup: func(p *sim.Proc, s *System, h, peer, nic *Agent, l mem.Addr) {
+				h.Read(p, l, 64)
+				nic.Read(p, l, 64)
+			},
+			op:   func(p *sim.Proc, h *Agent, l mem.Addr) sim.Time { return h.Write(p, l, 8) },
+			want: plat.RemoteInval,
+		},
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			harness(t, plat, func(p *sim.Proc, s *System) {
+				host := s.NewAgent(0, "host")
+				peer := s.NewAgent(0, "peer")
+				nic := s.NewAgent(1, "nic")
+				line := s.Space().AllocLines(c.home, 1)
+				if c.setup != nil {
+					c.setup(p, s, host, peer, nic, line)
+					p.Sleep(sim.Microsecond) // let pending stores commit
+				}
+				got := c.op(p, host, line)
+				if got != c.want {
+					t.Errorf("latency = %v, want %v", got, c.want)
+				}
+			})
+		})
+	}
+}
+
+func TestItoMDiscardsRemoteDirtyData(t *testing.T) {
+	// A full-line overwrite of a remote-M line must not move the stale
+	// data across the link (control messages only).
+	plat := platform.ICX()
+	harness(t, plat, func(p *sim.Proc, s *System) {
+		host := s.NewAgent(0, "host")
+		nic := s.NewAgent(1, "nic")
+		line := s.Space().AllocLines(0, 1)
+		nic.Write(p, line, 64)
+		p.Sleep(sim.Microsecond)
+		s.ResetCounters()
+		host.Write(p, line, 64) // full line: ItoM
+		st := s.Link().Stats()
+		if st.DataBytes[0]+st.DataBytes[1] != 0 {
+			t.Errorf("ItoM moved %d data bytes; want control-only",
+				st.DataBytes[0]+st.DataBytes[1])
+		}
+		if s.Counters(0).RemoteRFO != 1 {
+			t.Errorf("RFO count = %d, want 1", s.Counters(0).RemoteRFO)
+		}
+	})
+}
+
+func TestCommitReadRaceTwoReaders(t *testing.T) {
+	// Two agents fetch the same remote-dirty line with overlapping
+	// in-flight windows; commit-at-completion must keep the directory
+	// consistent (exactly one M copy or consistent sharers).
+	plat := platform.ICX()
+	k := sim.New()
+	s := NewSystem(k, plat)
+	writer := s.NewAgent(1, "writer")
+	r1 := s.NewAgent(0, "r1")
+	r2 := s.NewAgent(0, "r2")
+	line := s.Space().AllocLines(0, 1)
+	k.Spawn("writer", func(p *sim.Proc) {
+		writer.Write(p, line, 64)
+	})
+	k.Spawn("r1", func(p *sim.Proc) {
+		p.Sleep(500 * sim.Nanosecond)
+		r1.Read(p, line, 64)
+	})
+	k.Spawn("r2", func(p *sim.Proc) {
+		p.Sleep(505 * sim.Nanosecond) // overlaps r1's in-flight fetch
+		r2.Read(p, line, 64)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after racing reads: %v", err)
+	}
+}
+
+func TestPendingStoreStallsReader(t *testing.T) {
+	// A read issued while the owner's store is still committing must wait
+	// for the commit plus its own transfer — the serialization that makes
+	// separate-line producer-consumer hops cost two crossings (Fig 8).
+	plat := platform.ICX()
+	k := sim.New()
+	s := NewSystem(k, plat)
+	host := s.NewAgent(0, "host")
+	nic := s.NewAgent(1, "nic")
+	line := s.Space().AllocLines(0, 1)
+	var readLat sim.Time
+	k.Spawn("nic", func(p *sim.Proc) {
+		nic.Read(p, line, 64) // NIC owns the line
+		p.Sleep(100 * sim.Nanosecond)
+		p.Sleep(2 * sim.Microsecond)
+	})
+	k.Spawn("host", func(p *sim.Proc) {
+		p.Sleep(200 * sim.Nanosecond)
+		host.WriteAsync(p, line, 8) // in-flight RFO
+		// NIC reads immediately: must stall behind the commit.
+	})
+	k.Spawn("reader", func(p *sim.Proc) {
+		p.Sleep(220 * sim.Nanosecond)
+		readLat = nic.Read(p, line, 64)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if readLat <= plat.RemoteRH {
+		t.Errorf("read during pending store = %v, want > one transfer (%v)", readLat, plat.RemoteRH)
+	}
+}
+
+func TestDeviceLineHelpers(t *testing.T) {
+	plat := platform.ICX()
+	harness(t, plat, func(p *sim.Proc, s *System) {
+		host := s.NewAgent(0, "host")
+		line := s.Space().AllocLines(0, 1)
+		host.Write(p, line, 64)
+		// DMA write with DDIO: host copy invalidated, LLC owns.
+		s.DeviceWriteLine(line, 0)
+		if got := host.Read(p, line, 64); got != plat.LLCHit {
+			t.Errorf("read after DDIO write = %v, want LLC hit %v", got, plat.LLCHit)
+		}
+		// DMA read demotes a dirty CPU copy to shared.
+		line2 := s.Space().AllocLines(0, 1)
+		host.Write(p, line2, 64)
+		s.DeviceReadLine(line2)
+		if got := host.Write(p, line2, 8); got != plat.L2Hit {
+			t.Errorf("rewrite after DMA-read demote = %v, want silent upgrade %v", got, plat.L2Hit)
+		}
+		// No-ops on unknown lines must not panic.
+		s.DeviceReadLine(s.Space().AllocLines(1, 1))
+	})
+}

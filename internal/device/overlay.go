@@ -1,0 +1,198 @@
+package device
+
+import (
+	"fmt"
+
+	"ccnic/internal/bufpool"
+	"ccnic/internal/coherence"
+	"ccnic/internal/platform"
+	"ccnic/internal/sim"
+)
+
+// Overlay is the CC-NIC Overlay of §4: applications use a coherent (UPI)
+// interface on the host socket, while overlay threads on the NIC socket
+// bridge each UPI queue pair to a PCIe NIC queue pair, copying payloads and
+// translating descriptors in both directions. It lets application-level
+// workloads run over the CC-NIC interface while real network I/O happens on
+// a conventional PCIe NIC — trading overlay-thread cores for application
+// cores, exactly as the paper measures.
+type Overlay struct {
+	front *UPI
+	back  *PCIeNIC
+
+	threads []*coherence.Agent // overlay forwarding threads (NIC socket)
+	stopped bool
+}
+
+// NewOverlay builds an overlay device.
+//
+//	hosts    — application-side agents (host socket), one per queue.
+//	overlays — forwarding-thread agents (NIC socket); queue i is handled
+//	           by overlays[i%len(overlays)], so fewer overlay threads than
+//	           queues models the paper's thread-count sweeps.
+//	frontCfg — the coherent interface design point (CC-NIC or unopt).
+//	nic      — the PCIe NIC parameters (the paper uses the CX6).
+func NewOverlay(sys *coherence.System, frontCfg UPIConfig, nic *platform.NICParams,
+	hosts, overlays []*coherence.Agent) *Overlay {
+	if len(overlays) == 0 {
+		panic("device: overlay needs forwarding threads")
+	}
+	// Each front queue's NIC-side agent is its overlay thread; the back
+	// PCIe queue is bound to the same agent.
+	nicAgents := make([]*coherence.Agent, len(hosts))
+	for i := range hosts {
+		nicAgents[i] = overlays[i%len(overlays)]
+	}
+	o := &Overlay{
+		front:   NewUPI("overlay-front", sys, frontCfg, hosts, nicAgents),
+		threads: overlays,
+	}
+	o.back = NewPCIeNIC(sys, nic, nicAgents)
+	return o
+}
+
+// Name returns the device name.
+func (o *Overlay) Name() string { return "CC-NIC Overlay (" + o.back.Name() + ")" }
+
+// NumQueues returns the application-facing queue count.
+func (o *Overlay) NumQueues() int { return o.front.NumQueues() }
+
+// Queue returns the application-facing (coherent) queue i.
+func (o *Overlay) Queue(i int) Queue { return o.front.Queue(i) }
+
+// Back returns the underlying PCIe NIC (for ingress configuration).
+func (o *Overlay) Back() *PCIeNIC { return o.back }
+
+// SetIngress implements Injector: ingress traffic arrives at the PCIe NIC.
+func (o *Overlay) SetIngress(i int, rate float64, gen func() int) {
+	o.back.SetIngress(i, rate, gen)
+}
+
+// TxCount implements Injector: transmissions are counted where they leave.
+func (o *Overlay) TxCount(i int) int64 { return o.back.TxCount(i) }
+
+// Start spawns the PCIe device pipeline and the overlay forwarding threads.
+// The front UPI device's own NIC processes are not started; the overlay
+// threads take their place. Forwarding work is split into per-queue TX and
+// RX tasks distributed round-robin, so extra overlay threads (up to two per
+// queue) add forwarding capacity.
+func (o *Overlay) Start() {
+	o.back.Start()
+	sys := o.front.sys
+	nq := o.front.NumQueues()
+	nt := len(o.threads)
+	for t, a := range o.threads {
+		t, a := t, a
+		var tx, rx []int
+		for task := 0; task < 2*nq; task++ {
+			if task%nt != t {
+				continue
+			}
+			if task < nq {
+				tx = append(tx, task)
+			} else {
+				rx = append(rx, task-nq)
+			}
+		}
+		if len(tx) == 0 && len(rx) == 0 {
+			continue
+		}
+		sys.Kernel().Spawn(fmt.Sprintf("overlay%d", t), func(p *sim.Proc) {
+			o.forwardMain(p, a, tx, rx)
+		})
+	}
+}
+
+// Stop halts overlay threads and the PCIe device.
+func (o *Overlay) Stop() {
+	o.stopped = true
+	o.back.Stop()
+}
+
+// forwardMain is one overlay thread: it polls the UPI TX rings of its TX
+// tasks and the PCIe RX queues of its RX tasks, forwarding packets.
+func (o *Overlay) forwardMain(p *sim.Proc, a *coherence.Agent, txQueues, rxQueues []int) {
+	cfg := &o.front.cfg
+	pollGap := o.front.sys.Platform().PollGap
+	burst := cfg.NICBurst
+	rx := make([]*bufpool.Buf, burst)
+	for !o.stopped {
+		busy := false
+		for _, qi := range txQueues {
+			fq := o.front.qs[qi]
+			bq := o.back.qs[qi]
+
+			// --- UPI TX -> PCIe TX ---
+			var metas []pktMeta
+			if cfg.InlineSignal {
+				metas = snapshot(fq.txI.Consume(p, a, burst), cfg.NICBufMgmt)
+			} else {
+				metas = fq.regConsumeTx(p)
+			}
+			if len(metas) > 0 {
+				busy = true
+				// Copy only the inline segments; zero-copy external
+				// segments (the KV store's object payloads) pass
+				// through as DMA references — the PCIe device can
+				// fetch any host address.
+				var copyMetas []pktMeta
+				for _, m := range metas {
+					cm := m
+					cm.extLen = 0
+					copyMetas = append(copyMetas, cm)
+				}
+				a.GatherRead(p, payloadLines(copyMetas))
+				out := make([]*bufpool.Buf, 0, len(metas))
+				for _, m := range metas {
+					nb := bq.Port().Alloc(p, m.len)
+					if nb == nil {
+						continue
+					}
+					nb.Len, nb.Seq, nb.Born = m.len, m.seq, m.born
+					nb.ExtAddr, nb.ExtLen = m.ext, m.extLen
+					out = append(out, nb)
+					if cfg.NICBufMgmt {
+						fq.nicPort.Free(p, m.buf)
+					}
+				}
+				a.ScatterWrite(p, bufLines(out))
+				if !cfg.InlineSignal && !cfg.NICBufMgmt {
+					fq.completeTx(p, len(metas))
+				}
+				sent := bq.TxBurst(p, out)
+				if sent < len(out) {
+					bq.Port().FreeBurst(p, out[sent:])
+				}
+			}
+		}
+		for _, qi := range rxQueues {
+			fq := o.front.qs[qi]
+			bq := o.back.qs[qi]
+
+			// --- PCIe RX -> UPI RX ---
+			got := bq.RxBurst(p, rx)
+			if got > 0 {
+				busy = true
+				a.GatherRead(p, bufLines(rx[:got])) // DDIO: local LLC
+				fwd := make([]rxMeta, 0, got)
+				for i := 0; i < got; i++ {
+					b := rx[i]
+					fwd = append(fwd, rxMeta{size: b.Len, seq: b.Seq, born: b.Born})
+				}
+				// Forward losslessly: applications depend on every
+				// accepted packet arriving (backpressure, not drops).
+				for len(fwd) > 0 && !o.stopped {
+					n := fq.rxEmit(p, fwd)
+					fwd = fwd[n:]
+					if n == 0 {
+						p.Sleep(pollGap * 8)
+					}
+				}
+				bq.Release(p, rx[:got])
+			}
+		}
+		if !busy {
+			p.Sleep(pollGap)
+		}
+	}
+}

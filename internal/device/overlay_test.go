@@ -1,0 +1,137 @@
+package device
+
+import (
+	"testing"
+
+	"ccnic/internal/bufpool"
+	"ccnic/internal/coherence"
+	"ccnic/internal/platform"
+	"ccnic/internal/sim"
+)
+
+// runOverlay drives packets through app -> UPI front -> overlay -> CX6
+// loopback -> overlay -> UPI front -> app.
+func runOverlay(t *testing.T, frontCfg UPIConfig, n int) sim.Time {
+	t.Helper()
+	k := sim.New()
+	sys := coherence.NewSystem(k, platform.ICX())
+	hostA := sys.NewAgent(0, "app0")
+	ovA := sys.NewAgent(1, "ov0")
+	o := NewOverlay(sys, frontCfg, platform.CX6(), []*coherence.Agent{hostA}, []*coherence.Agent{ovA})
+	o.Start()
+	q := o.Queue(0)
+
+	var avgLat sim.Time
+	k.Spawn("app", func(p *sim.Proc) {
+		var total sim.Time
+		received, sent := 0, 0
+		wantSeq := uint64(1)
+		rx := make([]*bufpool.Buf, 16)
+		for received < n {
+			for sent < n && sent-received < 4 {
+				b := q.Port().Alloc(p, 64)
+				if b == nil {
+					break
+				}
+				b.Len = 64
+				b.Seq = uint64(sent + 1)
+				b.Born = p.Now()
+				hostA.StreamWrite(p, b.Addr, 64)
+				if q.TxBurst(p, []*bufpool.Buf{b}) == 0 {
+					q.Port().Free(p, b)
+					break
+				}
+				sent++
+			}
+			got := q.RxBurst(p, rx)
+			for i := 0; i < got; i++ {
+				if rx[i].Seq != wantSeq {
+					t.Errorf("overlay: got seq %d, want %d", rx[i].Seq, wantSeq)
+				}
+				wantSeq++
+				total += p.Now() - rx[i].Born
+				hostA.StreamRead(p, rx[i].Addr, rx[i].Len)
+			}
+			if got > 0 {
+				q.Release(p, rx[:got])
+				received += got
+			} else {
+				p.Sleep(30 * sim.Nanosecond)
+			}
+		}
+		avgLat = total / sim.Time(n)
+		o.Stop()
+	})
+	if err := k.RunUntil(100 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if k.Live() > 0 {
+		k.Stop()
+		k.Shutdown()
+		t.Fatal("overlay loopback did not complete")
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return avgLat
+}
+
+func TestOverlayCCNICFront(t *testing.T) {
+	lat := runOverlay(t, CCNICConfig(), 150)
+	// Overlay latency = CX6 loopback plus UPI hops and copies: must
+	// exceed the bare CX6 latency but stay within a few microseconds.
+	if lat < 2*sim.Microsecond || lat > 10*sim.Microsecond {
+		t.Errorf("overlay latency = %v, want CX6-plus-overhead range", lat)
+	}
+	t.Logf("overlay (CC-NIC front) latency: %v", lat)
+}
+
+func TestOverlayUnoptFront(t *testing.T) {
+	runOverlay(t, UnoptConfig(), 150)
+}
+
+func TestOverlayIngressMode(t *testing.T) {
+	// Synthetic ingress at the PCIe NIC must flow through to the app, and
+	// app TX must be counted at the NIC.
+	k := sim.New()
+	sys := coherence.NewSystem(k, platform.ICX())
+	hostA := sys.NewAgent(0, "app0")
+	ovA := sys.NewAgent(1, "ov0")
+	o := NewOverlay(sys, CCNICConfig(), platform.CX6(), []*coherence.Agent{hostA}, []*coherence.Agent{ovA})
+	o.SetIngress(0, 1e6, func() int { return 128 }) // 1 Mpps of 128B
+	o.Start()
+	q := o.Queue(0)
+	received := 0
+	k.Spawn("app", func(p *sim.Proc) {
+		rx := make([]*bufpool.Buf, 16)
+		for received < 50 {
+			got := q.RxBurst(p, rx)
+			for i := 0; i < got; i++ {
+				// Echo each request back.
+				b := q.Port().Alloc(p, 64)
+				if b != nil {
+					b.Len = 64
+					q.TxBurst(p, []*bufpool.Buf{b})
+				}
+			}
+			if got > 0 {
+				q.Release(p, rx[:got])
+				received += got
+			} else {
+				p.Sleep(100 * sim.Nanosecond)
+			}
+		}
+		o.Stop()
+	})
+	if err := k.RunUntil(100 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	k.Stop()
+	k.Shutdown()
+	if received < 50 {
+		t.Fatalf("received only %d ingress packets", received)
+	}
+	if o.TxCount(0) == 0 {
+		t.Error("app transmissions were not counted at the NIC")
+	}
+}

@@ -1,0 +1,502 @@
+package device
+
+import (
+	"fmt"
+
+	"ccnic/internal/bufpool"
+	"ccnic/internal/coherence"
+	"ccnic/internal/mem"
+	"ccnic/internal/pcie"
+	"ccnic/internal/platform"
+	"ccnic/internal/ring"
+	"ccnic/internal/sim"
+)
+
+// PCIeNIC models a conventional PCIe NIC (Intel E810 or NVIDIA CX6) with the
+// standard host interface of §2: descriptor rings in host memory, MMIO
+// doorbells, DMA descriptor and payload fetches, DDIO completion writes, a
+// device pipeline with a finite packet rate, and host-only buffer
+// management. It loops TX packets back to the same queue's RX side, or
+// injects synthetic ingress traffic.
+type PCIeNIC struct {
+	name string
+	sys  *coherence.System
+	nic  *platform.NICParams
+	ep   *pcie.Endpoint
+	pool *bufpool.Pool
+	// The shared device pipeline (each direction-crossing of a packet
+	// consumes half the per-packet service time, so a loopback packet
+	// costs one full PerPacket) and per-direction data paths.
+	pipe sim.Resource
+	data [2]sim.Resource
+	qs   []*pcieQueue
+}
+
+// service pushes one direction-crossing of a packet through the device
+// pipeline and the direction's data path, returning when it emerges.
+// Resources are always claimed at the current instant — claims with future
+// start times would head-of-line-block other queues' present-time claims —
+// and the result is lower-bounded by start (when the packet's data exists).
+func (d *PCIeNIC) service(start sim.Time, size int, dir int) sim.Time {
+	now := d.sys.Kernel().Now()
+	half := d.nic.PerPacket / 2
+	out := now + d.pipe.Acquire(now, half) + half
+	bytesTime := sim.Time(float64(size) / d.nic.DataBW * float64(sim.Nanosecond))
+	if dataOut := now + d.data[dir].Acquire(now, bytesTime) + bytesTime; dataOut > out {
+		out = dataOut
+	}
+	if start > out {
+		out = start
+	}
+	return out
+}
+
+// rxDoorbellThresh is how many freed RX buffers accumulate before the
+// driver bumps the RX tail register (DPDK's rx_free_thresh).
+const rxDoorbellThresh = 32
+
+// delivery is a packet queued inside the device for RX delivery.
+type delivery struct {
+	readyAt sim.Time
+	size    int
+	seq     uint64
+	born    sim.Time
+}
+
+type pcieQueue struct {
+	dev      *PCIeNIC
+	idx      int
+	host     *coherence.Agent
+	hostPort *bufpool.Port
+	mmio     *pcie.CoreMMIO
+
+	txR, rxR *ring.Reg
+
+	// Doorbell visibility: MMIO writes take OneWay to reach the device.
+	txTailVisible sim.Time
+	txTailShadow  int // TailIdx value the device may observe
+	rxTailVisible sim.Time
+	rxTailShadow  int
+
+	txSeen      int // device's TX fetch position
+	rxSeenNIC   int // device's blank-consumption position
+	lastFetchAt sim.Time
+	primed      bool
+	rxFreed     int // frees since last RX doorbell
+
+	// Completion visibility (DMA writes take OneWay).
+	txDoneAt []sim.Time
+	rxDoneAt []sim.Time
+
+	deliveries []delivery
+
+	ingressRate    float64
+	ingressGen     func() int
+	pendingIngress int // size drawn but not yet injected (backpressure)
+	nextIngress    sim.Time
+	txCount        int64
+
+	stopped bool
+}
+
+// NewPCIeNIC builds a PCIe NIC with one queue pair per host agent. The
+// agents' socket is the NIC's local socket (descriptor rings and buffers
+// live there; DDIO targets its LLC).
+func NewPCIeNIC(sys *coherence.System, nic *platform.NICParams, hosts []*coherence.Agent) *PCIeNIC {
+	if len(hosts) == 0 {
+		panic("device: PCIe NIC needs at least one host agent")
+	}
+	d := &PCIeNIC{
+		name: nic.Name,
+		sys:  sys,
+		nic:  nic,
+		ep:   pcie.NewEndpoint(sys.Kernel(), sys.Platform().PCIe),
+	}
+	home := hosts[0].Socket()
+	d.pool = bufpool.New(bufpool.Config{
+		Sys:      sys,
+		Home:     home,
+		BigCount: 2048 * len(hosts),
+		BigSize:  4096,
+		Shared:   false,
+		Recycle:  true, // the software-only reuse PCIe drivers implement
+	})
+	const nDesc = 1024
+	for i, h := range hosts {
+		q := &pcieQueue{
+			dev:      d,
+			idx:      i,
+			host:     h,
+			hostPort: d.pool.Attach(h),
+			mmio:     d.ep.NewCore(),
+			txR:      ring.NewReg(sys, nDesc, home, home),
+			rxR:      ring.NewReg(sys, nDesc, home, home),
+			txDoneAt: make([]sim.Time, nDesc),
+			rxDoneAt: make([]sim.Time, nDesc),
+		}
+		d.qs = append(d.qs, q)
+	}
+	return d
+}
+
+// Name returns the device name ("E810" or "CX6").
+func (d *PCIeNIC) Name() string { return d.name }
+
+// NumQueues returns the queue count.
+func (d *PCIeNIC) NumQueues() int { return len(d.qs) }
+
+// Queue returns queue i's host handle.
+func (d *PCIeNIC) Queue(i int) Queue { return d.qs[i] }
+
+// Pool returns the host buffer pool.
+func (d *PCIeNIC) Pool() *bufpool.Pool { return d.pool }
+
+// Endpoint returns the PCIe endpoint (for tests and counters).
+func (d *PCIeNIC) Endpoint() *pcie.Endpoint { return d.ep }
+
+// SetIngress implements Injector.
+func (d *PCIeNIC) SetIngress(i int, rate float64, gen func() int) {
+	d.qs[i].ingressRate = rate
+	d.qs[i].ingressGen = gen
+}
+
+// TxCount implements Injector.
+func (d *PCIeNIC) TxCount(i int) int64 { return d.qs[i].txCount }
+
+// Start spawns the device pipeline processes.
+func (d *PCIeNIC) Start() {
+	for _, q := range d.qs {
+		q := q
+		d.sys.Kernel().Spawn(fmt.Sprintf("%s.fetch%d", d.name, q.idx), q.fetchMain)
+		d.sys.Kernel().Spawn(fmt.Sprintf("%s.deliver%d", d.name, q.idx), q.deliverMain)
+	}
+}
+
+// Stop makes device processes exit at their next iteration.
+func (d *PCIeNIC) Stop() {
+	for _, q := range d.qs {
+		q.stopped = true
+	}
+}
+
+// ---------- Host driver ----------
+
+// TxBurst implements Queue: reclaim completions, write descriptors to host
+// memory, ring the doorbell.
+func (q *pcieQueue) TxBurst(p *sim.Proc, bufs []*bufpool.Buf) int {
+	driverOverhead(p, q.host, len(bufs), 15*sim.Nanosecond, 8*sim.Nanosecond)
+	// Multi-segment packets cost extra descriptor/WQE construction work
+	// in PCIe drivers (scatter-gather list setup).
+	for _, b := range bufs {
+		if b.ExtLen > 0 {
+			q.host.Exec(p, 25*sim.Nanosecond)
+		}
+	}
+	q.primeRx(p)
+	q.reclaimTx(p)
+	r := q.txR
+	n := len(bufs)
+	if sp := r.Space(); n > sp {
+		n = sp
+	}
+	if n == 0 {
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		r.Put(r.TailIdx+i, bufs[i])
+	}
+	// Descriptor writes hit local write-back memory.
+	q.host.ScatterWrite(p, r.LinesFor(r.TailIdx, n))
+	r.TailIdx += n
+	// Doorbell. The CX6 writes descriptors (and the doorbell record)
+	// over write-combining MMIO; the E810 writes a UC tail register.
+	if q.dev.nic.MMIODesc {
+		q.mmio.WCStreamWrite(p, n*ring.DescSize+8, q.dev.sys.Platform().PCIe.NTStoreBW)
+	} else {
+		q.mmio.UCWrite(p, 4)
+	}
+	q.txTailShadow = r.TailIdx
+	q.txTailVisible = p.Now() + q.dev.ep.MMIOPropagation()
+	return n
+}
+
+// reclaimTx frees TX buffers whose completion (DD) writebacks have arrived.
+func (q *pcieQueue) reclaimTx(p *sim.Proc) {
+	r := q.txR
+	now := p.Now()
+	done := 0
+	for r.HeadIdx+done < r.TailIdx && r.Done(r.HeadIdx+done) && q.txDoneAt[(r.HeadIdx+done)%r.Size()] <= now {
+		done++
+	}
+	if done == 0 {
+		return
+	}
+	// Completion descriptors arrived via DDIO: LLC hits.
+	q.host.GatherRead(p, r.LinesFor(r.HeadIdx, done))
+	for i := 0; i < done; i++ {
+		b := r.Take(r.HeadIdx)
+		r.ClearDone(r.HeadIdx)
+		r.HeadIdx++
+		if b != nil {
+			q.hostPort.Free(p, b)
+		}
+	}
+}
+
+// RxBurst implements Queue.
+func (q *pcieQueue) RxBurst(p *sim.Proc, out []*bufpool.Buf) int {
+	driverOverhead(p, q.host, 0, 10*sim.Nanosecond, 0)
+	q.primeRx(p)
+	r := q.rxR
+	now := p.Now()
+	n := 0
+	for n < len(out) && r.Done(r.HeadIdx+n) && q.rxDoneAt[(r.HeadIdx+n)%r.Size()] <= now {
+		n++
+	}
+	if n == 0 {
+		q.host.Poll(p, r.DescAddr(r.HeadIdx), ring.DescSize)
+		return 0
+	}
+	q.host.GatherRead(p, r.LinesFor(r.HeadIdx, n))
+	// Descriptor parse and mbuf initialization per received packet.
+	driverOverhead(p, q.host, n, 0, 6*sim.Nanosecond)
+	for i := 0; i < n; i++ {
+		out[i] = r.Take(r.HeadIdx)
+		r.ClearDone(r.HeadIdx)
+		r.HeadIdx++
+	}
+	// Refill the ring with fresh blanks from the pool (the rx_burst
+	// refill path of real drivers), ringing the doorbell lazily.
+	q.postBlanks(p, n)
+	q.rxFreed += n
+	if q.rxFreed >= rxDoorbellThresh {
+		q.rxFreed = 0
+		q.mmio.UCWrite(p, 4)
+		q.rxTailShadow = q.rxR.TailIdx
+		q.rxTailVisible = p.Now() + q.dev.ep.MMIOPropagation()
+	}
+	return n
+}
+
+// Release implements Queue: return consumed RX buffers to the pool (ring
+// refill already happened in RxBurst).
+func (q *pcieQueue) Release(p *sim.Proc, bufs []*bufpool.Buf) {
+	driverOverhead(p, q.host, len(bufs), 0, 4*sim.Nanosecond)
+	q.hostPort.FreeBurst(p, bufs)
+}
+
+// Port implements Queue.
+func (q *pcieQueue) Port() *bufpool.Port { return q.hostPort }
+
+// postBlanks allocates blanks and writes them into the RX ring.
+func (q *pcieQueue) postBlanks(p *sim.Proc, n int) {
+	r := q.rxR
+	if sp := r.Space(); n > sp {
+		n = sp
+	}
+	if n <= 0 {
+		return
+	}
+	blanks := make([]*bufpool.Buf, 0, n)
+	for i := 0; i < n; i++ {
+		b := q.hostPort.Alloc(p, 4096)
+		if b == nil {
+			break
+		}
+		blanks = append(blanks, b)
+	}
+	if len(blanks) == 0 {
+		return
+	}
+	for i, b := range blanks {
+		r.Put(r.TailIdx+i, b)
+	}
+	q.host.ScatterWrite(p, r.LinesFor(r.TailIdx, len(blanks)))
+	r.TailIdx += len(blanks)
+}
+
+// primeRx posts the initial blank set and rings the first RX doorbell.
+func (q *pcieQueue) primeRx(p *sim.Proc) {
+	if q.primed {
+		return
+	}
+	q.primed = true
+	q.postBlanks(p, q.rxR.Size()*3/4)
+	q.mmio.UCWrite(p, 4)
+	q.rxTailShadow = q.rxR.TailIdx
+	q.rxTailVisible = p.Now() + q.dev.ep.MMIOPropagation()
+}
+
+// ---------- Device pipeline ----------
+
+// fetchMain is the device's TX engine: it observes doorbells, DMA-reads
+// descriptors and payloads, applies the pipeline service time, writes TX
+// completions, and hands packets to the delivery engine. It also
+// synthesizes ingress packets when configured.
+func (q *pcieQueue) fetchMain(p *sim.Proc) {
+	d := q.dev
+	pollGap := d.sys.Platform().PollGap
+	for !q.stopped {
+		busy := false
+		now := p.Now()
+
+		// TX fetch.
+		if now >= q.txTailVisible && q.txSeen < q.txTailShadow {
+			busy = true
+			n := q.txTailShadow - q.txSeen
+			if n > 32 {
+				n = 32
+			}
+			// Descriptor fetch coalescing: while a burst is in
+			// progress (a fetch just completed), briefly wait for
+			// more postings so each DMA amortizes the roundtrip.
+			// Idle arrivals are fetched immediately, keeping the
+			// unloaded latency intact.
+			if n < d.nic.DescBatch && now-q.lastFetchAt < 600*sim.Nanosecond {
+				p.Sleep(120 * sim.Nanosecond)
+				continue
+			}
+			q.lastFetchAt = now
+			lines := q.txR.LinesFor(q.txSeen, n)
+			descDone := now
+			if !d.nic.MMIODesc {
+				descDone = d.ep.DMAReadAsync(now, len(lines)*mem.LineSize)
+				for _, l := range lines {
+					d.sys.DeviceReadLine(l)
+				}
+			}
+			if descDone > p.Now() {
+				p.Sleep(descDone - p.Now())
+			}
+			var lastReady sim.Time
+			for i := 0; i < n; i++ {
+				idx := q.txSeen + i
+				b := q.txR.Get(idx)
+				size, seq, born := b.TotalLen(), b.Seq, b.Born
+				payloadDone := d.ep.DMAReadAsync(p.Now(), size)
+				mem.Lines(b.Addr, b.Len, d.sys.DeviceReadLine)
+				if b.ExtLen > 0 {
+					mem.Lines(b.ExtAddr, b.ExtLen, d.sys.DeviceReadLine)
+				}
+				ready := d.service(payloadDone, size, 0) + d.nic.PipelineLat
+				if ready > lastReady {
+					lastReady = ready
+				}
+				q.txCount++
+				if q.ingressGen == nil {
+					q.deliveries = append(q.deliveries, delivery{
+						readyAt: ready, size: size, seq: seq, born: born,
+					})
+				}
+			}
+			// TX completion writeback for the batch (DDIO).
+			doneAt := d.ep.DMAWriteAsync(lastReady, len(lines)*mem.LineSize)
+			for i := 0; i < n; i++ {
+				idx := q.txSeen + i
+				q.txR.SetDone(idx)
+				q.txDoneAt[idx%q.txR.Size()] = doneAt
+			}
+			for _, l := range lines {
+				d.sys.DeviceWriteLine(l, q.host.Socket())
+			}
+			q.txSeen += n
+		}
+
+		// Synthetic ingress. The wire is a finite-rate source: when the
+		// device pipeline is backlogged, arrivals queue at the MAC
+		// rather than reserving unbounded pipeline slots.
+		if q.ingressGen != nil && q.ingressRate > 0 {
+			interval := sim.Time(1e12 / q.ingressRate)
+			injected := 0
+			for p.Now() >= q.nextIngress && injected < 32 && len(q.deliveries) < 256 {
+				if q.nextIngress == 0 {
+					q.nextIngress = p.Now()
+				}
+				if q.pendingIngress == 0 {
+					q.pendingIngress = q.ingressGen()
+				}
+				q.deliveries = append(q.deliveries, delivery{
+					readyAt: p.Now() + d.nic.PipelineLat,
+					size:    q.pendingIngress,
+					born:    p.Now(),
+				})
+				q.pendingIngress = 0
+				q.nextIngress += interval
+				injected++
+				busy = true
+			}
+			// If the wire outpaces the device, arrivals are lost at
+			// the MAC; keep the clock moving so the backlog stays
+			// bounded. The op-stream alignment is preserved because
+			// the drawn size is held, not discarded.
+			if over := p.Now() - q.nextIngress; over > 10*sim.Microsecond && len(q.deliveries) >= 256 {
+				q.nextIngress = p.Now() - 10*sim.Microsecond
+			}
+		}
+
+		if !busy {
+			p.Sleep(pollGap)
+		}
+	}
+}
+
+// deliverMain is the device's RX engine: it waits for packets to clear the
+// pipeline, consumes host-posted blanks, and DMA-writes payloads and
+// completion descriptors (landing in the host LLC via DDIO).
+func (q *pcieQueue) deliverMain(p *sim.Proc) {
+	d := q.dev
+	pollGap := d.sys.Platform().PollGap
+	for !q.stopped {
+		if len(q.deliveries) == 0 {
+			p.Sleep(pollGap)
+			continue
+		}
+		dv := q.deliveries[0]
+		q.deliveries = q.deliveries[1:]
+		if dv.readyAt > p.Now() {
+			p.Sleep(dv.readyAt - p.Now())
+		}
+		// The RX leg's share of the device pipeline and data path.
+		if out := d.service(p.Now(), dv.size, 1); out > p.Now() {
+			p.Sleep(out - p.Now())
+		}
+		// Wait for a blank (the host may need to catch up on reposts).
+		for q.rxSeenNIC >= q.rxTailShadow || p.Now() < q.rxTailVisible {
+			if q.stopped {
+				return
+			}
+			p.Sleep(pollGap * 4)
+		}
+		idx := q.rxSeenNIC
+		q.rxSeenNIC++
+		// Amortized RX descriptor fetch: one DMA read per line of
+		// blanks (the device prefetches descriptors ahead).
+		if idx%ring.SlotsPerLine == 0 {
+			d.ep.DMAReadAsync(p.Now(), mem.LineSize)
+		}
+		b := q.rxR.Get(idx)
+		b.Len, b.Seq, b.Born = dv.size, dv.seq, dv.born
+		payloadAt := d.ep.DMAWriteAsync(p.Now(), dv.size)
+		mem.Lines(b.Addr, dv.size, func(l mem.Addr) {
+			d.sys.DeviceWriteLine(l, q.host.Socket())
+		})
+		descAt := d.ep.DMAWriteAsync(p.Now(), ring.DescSize)
+		d.sys.DeviceWriteLine(mem.LineOf(q.rxR.DescAddr(idx)), q.host.Socket())
+		q.rxR.SetDone(idx)
+		at := payloadAt
+		if descAt > at {
+			at = descAt
+		}
+		q.rxDoneAt[idx%q.rxR.Size()] = at
+	}
+}
+
+// DebugState summarizes per-queue pipeline state for diagnostics.
+func (d *PCIeNIC) DebugState() string {
+	s := ""
+	for i, q := range d.qs {
+		s += fmt.Sprintf("q%d[post %d fetch %d dlvq %d rxTail %d rxSeen %d head %d] ",
+			i, q.txR.TailIdx, q.txSeen, len(q.deliveries), q.rxR.TailIdx, q.rxSeenNIC, q.rxR.HeadIdx)
+	}
+	return s
+}

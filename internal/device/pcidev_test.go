@@ -1,0 +1,133 @@
+package device
+
+import (
+	"testing"
+
+	"ccnic/internal/bufpool"
+	"ccnic/internal/coherence"
+	"ccnic/internal/platform"
+	"ccnic/internal/sim"
+)
+
+// runPCIe drives n loopback packets through a one-queue PCIe NIC and
+// returns the average unloaded latency when gap > 0 (singleton mode) or the
+// total elapsed time in pipelined mode.
+func runPCIe(t *testing.T, nic *platform.NICParams, n, size int, gap sim.Time) (avgLat, elapsed sim.Time) {
+	t.Helper()
+	k := sim.New()
+	sys := coherence.NewSystem(k, platform.ICX())
+	hostA := sys.NewAgent(0, "host0")
+	dev := NewPCIeNIC(sys, nic, []*coherence.Agent{hostA})
+	dev.Start()
+	q := dev.Queue(0)
+
+	k.Spawn("host", func(p *sim.Proc) {
+		start := p.Now()
+		var totalLat sim.Time
+		received, sent := 0, 0
+		wantSeq := uint64(1)
+		rx := make([]*bufpool.Buf, 32)
+		for received < n {
+			inflight := sent - received
+			if sent < n && (gap > 0 && inflight == 0 || gap == 0 && inflight < 64) {
+				if gap > 0 {
+					p.Sleep(gap)
+				}
+				burst := 1
+				if gap == 0 {
+					burst = min(8, n-sent)
+				}
+				bufs := make([]*bufpool.Buf, 0, burst)
+				for i := 0; i < burst; i++ {
+					b := q.Port().Alloc(p, size)
+					if b == nil {
+						break
+					}
+					b.Len = size
+					b.Seq = uint64(sent + i + 1)
+					b.Born = p.Now()
+					hostA.StreamWrite(p, b.Addr, size)
+					bufs = append(bufs, b)
+				}
+				sent += q.TxBurst(p, bufs)
+			}
+			got := q.RxBurst(p, rx)
+			for i := 0; i < got; i++ {
+				b := rx[i]
+				if b.Seq != wantSeq {
+					t.Errorf("%s: got seq %d, want %d", nic.Name, b.Seq, wantSeq)
+				}
+				wantSeq++
+				totalLat += p.Now() - b.Born
+				hostA.StreamRead(p, b.Addr, b.Len)
+			}
+			if got > 0 {
+				q.Release(p, rx[:got])
+				received += got
+			} else {
+				p.Sleep(20 * sim.Nanosecond)
+			}
+		}
+		avgLat = totalLat / sim.Time(n)
+		elapsed = p.Now() - start
+		dev.Stop()
+	})
+	if err := k.RunUntil(200 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if k.Live() > 0 {
+		k.Stop()
+		k.Shutdown()
+		t.Fatalf("%s: loopback did not complete", nic.Name)
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Pool().CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	return avgLat, elapsed
+}
+
+func TestE810MinimumLatency(t *testing.T) {
+	lat, _ := runPCIe(t, platform.E810(), 40, 64, 3*sim.Microsecond)
+	// Paper: 3809ns minimum loopback latency on ICX.
+	if lat < 3200*sim.Nanosecond || lat > 4500*sim.Nanosecond {
+		t.Errorf("E810 unloaded latency = %v, want ~3.8us", lat)
+	}
+	t.Logf("E810 unloaded loopback latency: %v", lat)
+}
+
+func TestCX6MinimumLatency(t *testing.T) {
+	lat, _ := runPCIe(t, platform.CX6(), 40, 64, 3*sim.Microsecond)
+	// Paper: 2116ns minimum loopback latency on ICX.
+	if lat < 1700*sim.Nanosecond || lat > 2600*sim.Nanosecond {
+		t.Errorf("CX6 unloaded latency = %v, want ~2.1us", lat)
+	}
+	t.Logf("CX6 unloaded loopback latency: %v", lat)
+}
+
+func TestPCIePipelinedDelivery(t *testing.T) {
+	for _, nic := range []*platform.NICParams{platform.E810(), platform.CX6()} {
+		_, elapsed := runPCIe(t, nic, 500, 64, 0)
+		perPkt := elapsed / 500
+		// Pipelined per-packet time must be far below the unloaded
+		// latency (otherwise nothing is overlapping).
+		if perPkt > 1500*sim.Nanosecond {
+			t.Errorf("%s: pipelined per-packet %v, expected deep overlap", nic.Name, perPkt)
+		}
+		t.Logf("%s pipelined per-packet: %v", nic.Name, perPkt)
+	}
+}
+
+func TestPCIeLargePackets(t *testing.T) {
+	runPCIe(t, platform.E810(), 100, 1500, 0)
+	runPCIe(t, platform.CX6(), 100, 1500, 0)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,195 @@
+package device
+
+import (
+	"fmt"
+	"testing"
+
+	"ccnic/internal/bufpool"
+	"ccnic/internal/coherence"
+	"ccnic/internal/platform"
+	"ccnic/internal/ring"
+	"ccnic/internal/sim"
+)
+
+// runUPI builds a one-queue UPI device with cfg and drives n packets of the
+// given size through loopback, returning median-ish total time and checking
+// ordering and conservation.
+func runUPI(t *testing.T, cfg UPIConfig, n, size int) sim.Time {
+	t.Helper()
+	k := sim.New()
+	sys := coherence.NewSystem(k, platform.ICX())
+	hostA := sys.NewAgent(0, "host0")
+	nicA := sys.NewAgent(1, "nic0")
+	dev := NewUPI("upi", sys, cfg, []*coherence.Agent{hostA}, []*coherence.Agent{nicA})
+	dev.Start()
+	q := dev.Queue(0)
+
+	var elapsed sim.Time
+	k.Spawn("host", func(p *sim.Proc) {
+		start := p.Now()
+		received := 0
+		sent := 0
+		nextSeq := uint64(1)
+		wantSeq := uint64(1)
+		rx := make([]*bufpool.Buf, 32)
+		for received < n {
+			// Submit in bursts of up to 8, keeping <=64 in flight.
+			for sent < n && sent-received < 64 {
+				burst := n - sent
+				if burst > 8 {
+					burst = 8
+				}
+				bufs := make([]*bufpool.Buf, 0, burst)
+				for i := 0; i < burst; i++ {
+					b := q.Port().Alloc(p, size)
+					if b == nil {
+						break
+					}
+					b.Len = size
+					b.Seq = nextSeq
+					b.Born = p.Now()
+					nextSeq++
+					hostA.StreamWrite(p, b.Addr, size)
+					bufs = append(bufs, b)
+				}
+				if len(bufs) == 0 {
+					break
+				}
+				got := q.TxBurst(p, bufs)
+				sent += got
+				if got < len(bufs) {
+					// Ring full: free unaccepted and retry later.
+					q.Port().FreeBurst(p, bufs[got:])
+					nextSeq -= uint64(len(bufs) - got)
+					break
+				}
+			}
+			got := q.RxBurst(p, rx)
+			for i := 0; i < got; i++ {
+				b := rx[i]
+				if b.Seq != wantSeq {
+					t.Errorf("cfg %+v: got seq %d, want %d", cfg, b.Seq, wantSeq)
+				}
+				wantSeq++
+				if b.Born >= p.Now() {
+					t.Error("packet received before it was born")
+				}
+				hostA.StreamRead(p, b.Addr, b.Len)
+			}
+			if got > 0 {
+				q.Release(p, rx[:got])
+				received += got
+			} else {
+				p.Sleep(20 * sim.Nanosecond)
+			}
+		}
+		elapsed = p.Now() - start
+		dev.Stop()
+	})
+	if err := k.RunUntil(50 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if k.Live() > 0 {
+		k.Stop()
+		k.Shutdown()
+		t.Fatalf("cfg %+v: loopback did not complete in time", cfg)
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Pool().CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	return elapsed
+}
+
+func TestCCNICLoopbackDeliversInOrder(t *testing.T) {
+	runUPI(t, CCNICConfig(), 200, 64)
+}
+
+func TestUnoptLoopbackDeliversInOrder(t *testing.T) {
+	runUPI(t, UnoptConfig(), 200, 64)
+}
+
+func TestAllDesignPointsWork(t *testing.T) {
+	for _, inline := range []bool{true, false} {
+		for _, nicMgmt := range []bool{true, false} {
+			layouts := []ring.Layout{ring.Grouped}
+			if inline {
+				layouts = []ring.Layout{ring.Grouped, ring.Packed, ring.Padded}
+			}
+			for _, layout := range layouts {
+				name := fmt.Sprintf("inline=%v,nicmgmt=%v,%v", inline, nicMgmt, layout)
+				t.Run(name, func(t *testing.T) {
+					cfg := CCNICConfig()
+					cfg.InlineSignal = inline
+					cfg.NICBufMgmt = nicMgmt
+					cfg.Layout = layout
+					cfg.SharedPool = nicMgmt
+					runUPI(t, cfg, 100, 64)
+				})
+			}
+		}
+	}
+}
+
+func TestCCNICFasterThanUnoptPerPacket(t *testing.T) {
+	// The headline comparison: the optimized interface must beat the
+	// E810-layout-over-UPI baseline on the same workload.
+	cc := runUPI(t, CCNICConfig(), 400, 64)
+	un := runUPI(t, UnoptConfig(), 400, 64)
+	if cc >= un {
+		t.Errorf("CC-NIC (%v) should be faster than unoptimized UPI (%v)", cc, un)
+	}
+	t.Logf("CC-NIC %v vs unopt %v (%.2fx)", cc, un, float64(un)/float64(cc))
+}
+
+func TestLargePackets(t *testing.T) {
+	runUPI(t, CCNICConfig(), 100, 1500)
+	runUPI(t, UnoptConfig(), 100, 1500)
+}
+
+func TestCCNICSingletonLatency(t *testing.T) {
+	// One packet at a time: minimum TX-RX latency. The paper measures
+	// ~490ns on ICX; the model should land in that neighborhood.
+	k := sim.New()
+	sys := coherence.NewSystem(k, platform.ICX())
+	hostA := sys.NewAgent(0, "host0")
+	nicA := sys.NewAgent(1, "nic0")
+	dev := NewUPI("upi", sys, CCNICConfig(), []*coherence.Agent{hostA}, []*coherence.Agent{nicA})
+	dev.Start()
+	q := dev.Queue(0)
+	var avg sim.Time
+	k.Spawn("host", func(p *sim.Proc) {
+		const rounds = 50
+		var total sim.Time
+		rx := make([]*bufpool.Buf, 4)
+		for i := 0; i < rounds; i++ {
+			p.Sleep(2 * sim.Microsecond) // idle gap: unloaded latency
+			b := q.Port().Alloc(p, 64)
+			b.Len = 64
+			b.Born = p.Now()
+			hostA.StreamWrite(p, b.Addr, 64)
+			q.TxBurst(p, []*bufpool.Buf{b})
+			for {
+				got := q.RxBurst(p, rx)
+				if got > 0 {
+					total += p.Now() - rx[0].Born
+					hostA.StreamRead(p, rx[0].Addr, rx[0].Len)
+					q.Release(p, rx[:got])
+					break
+				}
+				p.Sleep(5 * sim.Nanosecond)
+			}
+		}
+		avg = total / rounds
+		dev.Stop()
+	})
+	if err := k.RunUntil(10 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if avg < 200*sim.Nanosecond || avg > 1200*sim.Nanosecond {
+		t.Errorf("CC-NIC unloaded loopback latency = %v, want a few hundred ns", avg)
+	}
+	t.Logf("CC-NIC ICX unloaded TX-RX latency: %v", avg)
+}

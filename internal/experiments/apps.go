@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ccnic/internal/coherence"
+	"ccnic/internal/device"
+	"ccnic/internal/kvstore"
+	"ccnic/internal/platform"
+	"ccnic/internal/rpcstack"
+	"ccnic/internal/sim"
+	"ccnic/internal/stats"
+	"ccnic/internal/traffic"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig19",
+		Title: "Key-value store throughput vs thread count (Ads and Geo distributions)",
+		Paper: "CC-NIC Overlay saturates with half the application threads of the direct CX6 interface (16->8 Ads, 8->4 Geo)",
+		Run:   runFig19,
+	})
+	register(&Experiment{
+		ID:    "table2",
+		Title: "Application peak throughput and thread counts: KV store and TCP echo RPC",
+		Paper: "KV ads 37.0->42.3 Mops (16->8 threads); KV geo 17.8->17.9 (8->4); TCP RPC 58.3->64.6 (5->3 fast-path threads)",
+		Run:   runTable2,
+	})
+}
+
+// kvIface selects the Fig 19 interface variants.
+type kvIface int
+
+const (
+	kvPCIe kvIface = iota
+	kvCCNIC
+	kvUPI11
+	kvUnopt
+)
+
+func (i kvIface) String() string {
+	switch i {
+	case kvPCIe:
+		return "PCIe"
+	case kvCCNIC:
+		return "CC-NIC"
+	case kvUPI11:
+		return "UPI 1-1"
+	case kvUnopt:
+		return "UPI unopt"
+	}
+	return "?"
+}
+
+// buildKV assembles the device stack for one Fig 19 series point.
+func buildKV(iface kvIface, threads int) (*coherence.System, device.Device, []*coherence.Agent) {
+	k := sim.New()
+	sys := coherence.NewSystem(k, platform.ICX())
+	sys.SetPrefetch(0, true)
+	hosts := make([]*coherence.Agent, threads)
+	for i := range hosts {
+		hosts[i] = sys.NewAgent(0, "app")
+	}
+	mkOverlays := func(n int) []*coherence.Agent {
+		out := make([]*coherence.Agent, n)
+		for i := range out {
+			out[i] = sys.NewAgent(1, "ov")
+		}
+		return out
+	}
+	switch iface {
+	case kvPCIe:
+		return sys, device.NewPCIeNIC(sys, platform.CX6(), hosts), hosts
+	case kvCCNIC:
+		// Ample forwarding capacity on the NIC socket (not counted
+		// against application threads), bounded by its core count.
+		return sys, device.NewOverlay(sys, device.CCNICConfig(), platform.CX6(), hosts, mkOverlays(min(2*threads, 16))), hosts
+	case kvUPI11:
+		// One overlay thread per application thread.
+		return sys, device.NewOverlay(sys, device.CCNICConfig(), platform.CX6(), hosts, mkOverlays(threads)), hosts
+	case kvUnopt:
+		return sys, device.NewOverlay(sys, device.UnoptConfig(), platform.CX6(), hosts, mkOverlays(min(2*threads, 16))), hosts
+	}
+	panic("unreachable")
+}
+
+// kvPoint measures saturated KV throughput for a series point.
+func kvPoint(iface kvIface, threads int, dist *traffic.SizeDist, opt Options) float64 {
+	sys, dev, hosts := buildKV(iface, threads)
+	warm, meas := 40*sim.Microsecond, 120*sim.Microsecond
+	if opt.Quick {
+		warm, meas = 25*sim.Microsecond, 60*sim.Microsecond
+	}
+	res := kvstore.Run(kvstore.Config{
+		Sys:          sys,
+		Dev:          dev,
+		Hosts:        hosts,
+		Store:        kvstore.NewStore(sys, 0, 100_000, dist),
+		Seed:         7,
+		RatePerQueue: 10e6, // beyond saturation
+		Warmup:       warm,
+		Measure:      meas,
+	})
+	return res.OpsPerSec
+}
+
+func runFig19(opt Options) *Report {
+	threadCounts := []int{1, 2, 4, 8, 12, 16}
+	ifaces := []kvIface{kvCCNIC, kvUPI11, kvUnopt, kvPCIe}
+	if opt.Quick {
+		threadCounts = []int{1, 4}
+		ifaces = []kvIface{kvCCNIC, kvPCIe}
+	}
+	var groups []SeriesGroup
+	for _, d := range []*traffic.SizeDist{traffic.Ads(3), traffic.Geo(3)} {
+		var series []*stats.Series
+		for _, iface := range ifaces {
+			iface := iface
+			s := &stats.Series{Name: iface.String() + " [Mops]", XLabel: "threads"}
+			ys := make([]float64, len(threadCounts))
+			parallel(len(threadCounts), func(i int) {
+				ys[i] = kvPoint(iface, threadCounts[i], d, opt) / 1e6
+			})
+			for i, n := range threadCounts {
+				s.Add(float64(n), ys[i])
+			}
+			series = append(series, s)
+		}
+		groups = append(groups, SeriesGroup{
+			Name:   fmt.Sprintf("(%s distribution) KV throughput vs thread count", d.Name()),
+			Series: series,
+		})
+	}
+	return &Report{ID: "fig19", Title: "Key-value store scaling", Groups: groups}
+}
+
+// rpcPoint measures saturated echo-RPC throughput with fp fast-path threads.
+func rpcPoint(overlay bool, fp int, opt Options) float64 {
+	k := sim.New()
+	sys := coherence.NewSystem(k, platform.ICX())
+	sys.SetPrefetch(0, true)
+	fps := make([]*coherence.Agent, fp)
+	for i := range fps {
+		fps[i] = sys.NewAgent(0, "fp")
+	}
+	app := sys.NewAgent(0, "app")
+	var dev device.Device
+	if overlay {
+		ovs := make([]*coherence.Agent, 2*fp)
+		for i := range ovs {
+			ovs[i] = sys.NewAgent(1, "ov")
+		}
+		dev = device.NewOverlay(sys, device.CCNICConfig(), platform.CX6(), fps, ovs)
+	} else {
+		dev = device.NewPCIeNIC(sys, platform.CX6(), fps)
+	}
+	warm, meas := 40*sim.Microsecond, 120*sim.Microsecond
+	if opt.Quick {
+		warm, meas = 25*sim.Microsecond, 60*sim.Microsecond
+	}
+	res := rpcstack.Run(rpcstack.Config{
+		Sys:          sys,
+		Dev:          dev,
+		FastPath:     fps,
+		App:          app,
+		RatePerQueue: 60e6, // beyond saturation
+		Warmup:       warm,
+		Measure:      meas,
+	})
+	return res.OpsPerSec
+}
+
+// threadsFor95 sweeps thread counts and returns (peak ops/s, threads needed
+// to reach 95% of it).
+func threadsFor95(counts []int, measure func(int) float64) (peak float64, need int) {
+	vals := make(map[int]float64, len(counts))
+	ys := make([]float64, len(counts))
+	parallel(len(counts), func(i int) { ys[i] = measure(counts[i]) })
+	for i, n := range counts {
+		vals[n] = ys[i]
+		if vals[n] > peak {
+			peak = vals[n]
+		}
+	}
+	for _, n := range counts {
+		if vals[n] >= 0.95*peak {
+			return peak, n
+		}
+	}
+	return peak, counts[len(counts)-1]
+}
+
+func runTable2(opt Options) *Report {
+	kvCounts := []int{2, 4, 8, 12, 16}
+	rpcCounts := []int{1, 2, 3, 4, 5, 6}
+	if opt.Quick {
+		kvCounts = []int{2, 4}
+		rpcCounts = []int{1, 2}
+	}
+	t := &stats.Table{
+		Name:    "peak throughput and threads to reach 95% of peak (CX6 vs CC-NIC Overlay)",
+		Columns: []string{"workload", "PCIe Mops", "CC-NIC Mops", "threads PCIe->CC-NIC"},
+	}
+	for _, w := range []struct {
+		name string
+		dist *traffic.SizeDist
+	}{{"KV store (ads)", traffic.Ads(3)}, {"KV store (geo)", traffic.Geo(3)}} {
+		w := w
+		pPeak, pN := threadsFor95(kvCounts, func(n int) float64 { return kvPoint(kvPCIe, n, w.dist, opt) })
+		cPeak, cN := threadsFor95(kvCounts, func(n int) float64 { return kvPoint(kvCCNIC, n, w.dist, opt) })
+		t.AddRow(w.name,
+			fmt.Sprintf("%.1f", pPeak/1e6), fmt.Sprintf("%.1f", cPeak/1e6),
+			fmt.Sprintf("%d -> %d", pN, cN))
+	}
+	pPeak, pN := threadsFor95(rpcCounts, func(n int) float64 { return rpcPoint(false, n, opt) })
+	cPeak, cN := threadsFor95(rpcCounts, func(n int) float64 { return rpcPoint(true, n, opt) })
+	t.AddRow("TCP echo RPC",
+		fmt.Sprintf("%.1f", pPeak/1e6), fmt.Sprintf("%.1f", cPeak/1e6),
+		fmt.Sprintf("%d -> %d", pN, cN))
+	return &Report{ID: "table2", Title: "Application-level core savings", Tables: []*stats.Table{t}}
+}

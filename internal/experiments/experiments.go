@@ -1,0 +1,130 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2.2 microbenchmarks and §5). Each experiment builds fresh
+// testbeds, runs the workload the paper describes, and returns printable
+// series/tables shaped like the paper's plots. EXPERIMENTS.md records the
+// expected shapes and the measured outputs side by side.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"ccnic/internal/stats"
+)
+
+// Options tunes experiment scale. Quick mode shrinks core counts, sweep
+// points, and measurement windows so the full suite runs in seconds (used
+// by tests and benchmarks); full mode reproduces the paper's axes.
+type Options struct {
+	Quick bool
+}
+
+// SeriesGroup is one panel of a figure.
+type SeriesGroup struct {
+	Name   string
+	Series []*stats.Series
+}
+
+// Report is an experiment's regenerated output.
+type Report struct {
+	ID     string
+	Title  string
+	Groups []SeriesGroup
+	Tables []*stats.Table
+	Notes  []string
+}
+
+// Format renders the report as text: a chart of each series group's shape
+// followed by the exact values.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, g := range r.Groups {
+		b.WriteString("\n")
+		b.WriteString(stats.Plot(g.Name, 56, 12, g.Series...))
+		b.WriteString("\n")
+		b.WriteString(stats.FormatSeries(g.Name, g.Series...))
+	}
+	for _, t := range r.Tables {
+		b.WriteString("\n")
+		b.WriteString(t.Format())
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\nnote: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment regenerates one paper table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarizes the published result this experiment targets.
+	Paper string
+	Run   func(Options) *Report
+}
+
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment sorted by ID.
+func All() []*Experiment {
+	out := make([]*Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return idKey(out[i].ID) < idKey(out[j].ID) })
+	return out
+}
+
+// idKey orders fig2 < fig3 < ... < fig21 < table1 < table2.
+func idKey(id string) string {
+	if strings.HasPrefix(id, "fig") {
+		return fmt.Sprintf("a%03s", id[3:])
+	}
+	return "z" + id
+}
+
+// ByID returns the experiment with the given ID, or nil.
+func ByID(id string) *Experiment { return registry[id] }
+
+// parallel runs fn(0..n-1) concurrently, bounded by the host CPU count.
+// Each index builds its own simulation kernel, so points are independent;
+// results remain deterministic because every point is self-contained.
+func parallel(n int, fn func(i int)) {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper's evaluation must be present.
+	want := []string{
+		"fig2", "fig3", "fig7", "fig8", "fig9", "table1",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"fig17", "fig18", "fig19", "fig20", "fig21", "table2",
+		// Extensions beyond the paper's evaluation (§3.2, §6).
+		"ext-cxl", "ext-dsa", "ext-event", "ext-netfn",
+	}
+	for _, id := range want {
+		e := ByID(id)
+		if e == nil {
+			t.Errorf("experiment %s missing", id)
+			continue
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	// Ordering: figures ascending, then tables and extensions.
+	ids := All()
+	if ids[0].ID != "fig2" {
+		t.Errorf("ordering wrong: first %s", ids[0].ID)
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if ByID("fig99") != nil {
+		t.Error("unknown id should return nil")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	r := ByID("table1").Run(Options{})
+	out := r.Format()
+	for _, frag := range []string{"table1", "UPI", "PCIe 4.0", "67.2"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("formatted report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// --- Shape acceptance tests: the paper's qualitative claims must hold. ---
+
+func TestFig2Shape(t *testing.T) {
+	r := ByID("fig2").Run(Options{Quick: true})
+	s := r.Groups[0].Series
+	mmio, wb := s[0], s[2]
+	// WB DRAM is nearly flat; WC MMIO needs big batches.
+	wbSmall, _ := wb.YAt(64)
+	wbBig, _ := wb.YAt(8192)
+	if wbBig > 1.5*wbSmall {
+		t.Errorf("WB DRAM should be barrier-insensitive: %v vs %v", wbSmall, wbBig)
+	}
+	mSmall, _ := mmio.YAt(64)
+	mBig, _ := mmio.YAt(8192)
+	if mBig < 5*mSmall {
+		t.Errorf("WC MMIO should gain >5x from batching: %v vs %v", mSmall, mBig)
+	}
+	if mBig > wbBig {
+		t.Error("batched WC MMIO should stay below WB DRAM")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r := ByID("fig3").Run(Options{Quick: true})
+	e810 := r.Groups[0].Series[0]
+	at24, _ := e810.YAt(24)
+	at64, _ := e810.YAt(64)
+	// Knee at 24 stores: cumulative cost explodes afterwards.
+	if at64 < 50*at24 {
+		t.Errorf("no WC exhaustion knee: cum(24)=%vus cum(64)=%vus", at24, at64)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r := ByID("fig8").Run(Options{Quick: true})
+	// The note records the separate/co-located ratio; it must be >1.4x
+	// on both platforms (paper: 1.7-2.4x).
+	note := r.Notes[0]
+	if strings.Contains(note, "ratio: SPR 0") || strings.Contains(note, "ICX 0") {
+		t.Errorf("co-located layout lost to separate lines: %s", note)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r := ByID("fig9").Run(Options{Quick: true})
+	for _, g := range r.Groups {
+		caching, nontmp := g.Series[0], g.Series[1]
+		// The quick sweep may stop before the crossover core count; in
+		// that regime caching must still be scaling at least as fast as
+		// nontemporal (the full sweep shows the crossover itself).
+		cs := caching.Points
+		ns := nontmp.Points
+		cSlope := cs[len(cs)-1].Y / cs[len(cs)-2].Y
+		nSlope := ns[len(ns)-1].Y / ns[len(ns)-2].Y
+		if caching.MaxY() <= nontmp.MaxY() && cSlope < nSlope {
+			t.Errorf("%s: caching (%.0f Gbps, slope %.2f) neither beats nor out-scales nontemporal (%.0f Gbps, slope %.2f)",
+				g.Name, caching.MaxY(), cSlope, nontmp.MaxY(), nSlope)
+		}
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	r := ByID("fig15").Run(Options{Quick: true})
+	rows := r.Tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 ablation rows, got %d", len(rows))
+	}
+	// Each removal must not improve on the optimized design, and the
+	// final (PCIe-style) configuration must be well below optimized.
+	parse := func(row []string) float64 {
+		var v float64
+		if _, err := sscanf(row[1], &v); err != nil {
+			t.Fatalf("bad Mpps cell %q", row[1])
+		}
+		return v
+	}
+	opt := parse(rows[0])
+	final := parse(rows[3])
+	if final >= 0.8*opt {
+		t.Errorf("full ablation (%.1f) should be well below optimized (%.1f)", final, opt)
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	r := ByID("fig17").Run(Options{Quick: true})
+	rows := r.Tables[0].Rows
+	get := func(i, col int) float64 {
+		var v float64
+		if _, err := sscanf(rows[i][col], &v); err != nil {
+			t.Fatalf("bad cell %q", rows[i][col])
+		}
+		return v
+	}
+	ccB, unB := get(0, 1)+get(0, 2), get(1, 1)+get(1, 2)
+	ccS, unS := get(2, 1)+get(2, 2), get(3, 1)+get(3, 2)
+	if ccB >= unB {
+		t.Errorf("batched: CC-NIC (%.2f) should need fewer remote accesses than unopt (%.2f)", ccB, unB)
+	}
+	if ccS >= unS {
+		t.Errorf("singleton: CC-NIC (%.2f) should need fewer remote accesses than unopt (%.2f)", ccS, unS)
+	}
+	if ccB >= ccS {
+		t.Errorf("batching should amortize CC-NIC accesses: %.2f vs %.2f", ccB, ccS)
+	}
+}
+
+func TestFig20Shape(t *testing.T) {
+	r := ByID("fig20").Run(Options{Quick: true})
+	rows := r.Tables[0].Rows
+	var hostOn float64
+	if _, err := sscanf(rows[0][2], &hostOn); err != nil {
+		t.Fatal(err)
+	}
+	// Host prefetching must help CC-NIC 64B (paper: 1.2x).
+	if hostOn < 1.0 {
+		t.Errorf("host prefetching should not hurt CC-NIC 64B: %.2f", hostOn)
+	}
+}
+
+// sscanf is a tiny helper for parsing the first float in a cell.
+func sscanf(s string, v *float64) (int, error) {
+	return fmt_Sscanf(s, v)
+}
+
+func fmt_Sscanf(s string, v *float64) (int, error) {
+	return fmt.Sscanf(strings.TrimSpace(s), "%f", v)
+}
+
+// TestExperimentDeterminism re-runs quick experiments and requires
+// bit-identical reports — regenerated figures must be reproducible.
+func TestExperimentDeterminism(t *testing.T) {
+	for _, id := range []string{"fig7", "fig8", "fig17", "ext-dsa"} {
+		e := ByID(id)
+		a := e.Run(Options{Quick: true}).Format()
+		b := e.Run(Options{Quick: true}).Format()
+		if a != b {
+			t.Errorf("%s reports differ between runs:\n--- first ---\n%s\n--- second ---\n%s", id, a, b)
+		}
+	}
+}
+
+// TestAllExperimentsQuick runs every registered experiment in quick mode
+// and sanity-checks its report — the regression net over the full
+// regeneration pipeline. Skipped under -short (it takes ~1 minute).
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r := e.Run(Options{Quick: true})
+			if r.ID != e.ID {
+				t.Errorf("report ID %q != experiment ID %q", r.ID, e.ID)
+			}
+			if len(r.Groups) == 0 && len(r.Tables) == 0 {
+				t.Fatal("experiment produced no output")
+			}
+			out := r.Format()
+			if len(out) < 40 {
+				t.Errorf("implausibly short report:\n%s", out)
+			}
+			for _, g := range r.Groups {
+				for _, s := range g.Series {
+					if len(s.Points) == 0 {
+						t.Errorf("series %q has no points", s.Name)
+					}
+					for _, pt := range s.Points {
+						if pt.Y < 0 {
+							t.Errorf("series %q has negative value %v", s.Name, pt.Y)
+						}
+					}
+				}
+			}
+			for _, tb := range r.Tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("table %q has no rows", tb.Name)
+				}
+			}
+		})
+	}
+}

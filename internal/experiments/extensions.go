@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ccnic"
+	"ccnic/internal/coherence"
+	"ccnic/internal/device"
+	"ccnic/internal/dsa"
+	"ccnic/internal/loopback"
+	"ccnic/internal/platform"
+	"ccnic/internal/sim"
+	"ccnic/internal/stats"
+)
+
+// Extension experiments cover the paper's §6 discussion and §3.2's proposed
+// event-driven ASIC behavior — directions the paper sketches but does not
+// evaluate. They are regenerated alongside the figures by ccbench.
+
+func init() {
+	register(&Experiment{
+		ID:    "ext-dsa",
+		Title: "EXT (§6 Hardware DMA): CPU payload copies vs DSA-offloaded bulk transfers",
+		Paper: "§6 suggests on-chip DMA engines (Intel DSA) for CPU-initiated bulk transfers of large packets",
+		Run:   runExtDSA,
+	})
+	register(&Experiment{
+		ID:    "ext-event",
+		Title: "EXT (§3.2 Event-driven NIC): polled vs coherence-event NIC cores at high queue counts",
+		Paper: "§3.2 proposes handling coherence messages as signals to avoid software-polling scalability limits",
+		Run:   runExtEvent,
+	})
+	register(&Experiment{
+		ID:    "ext-netfn",
+		Title: "EXT (§6 Network functions): header-only forwarding interconnect traffic",
+		Paper: "§6 argues a coherent NIC can retain payloads in NIC cache while the host reads only headers",
+		Run:   runExtNetfn,
+	})
+}
+
+// runExtDSA measures single-core large-payload TX preparation throughput
+// with CPU copies versus DSA offload.
+func runExtDSA(opt Options) *Report {
+	const size = 4096
+	pkts := 400
+	if opt.Quick {
+		pkts = 120
+	}
+
+	measure := func(useDSA bool) (opsPerSec float64) {
+		k := sim.New()
+		sys := coherence.NewSystem(k, platform.SPR())
+		core := sys.NewAgent(0, "core")
+		var eng *dsa.Engine
+		if useDSA {
+			eng = dsa.NewLanes(sys, 0, "dsa0", 4)
+		}
+		// Source object; per-packet destination TX buffers.
+		src := sys.Space().Alloc(0, size, 0)
+		var done int
+		k.Spawn("app", func(p *sim.Proc) {
+			var pending []*dsa.Completion
+			for i := 0; i < pkts; i++ {
+				dst := sys.Space().Alloc(0, size, 0)
+				// Per-packet protocol work the core must do anyway.
+				core.Exec(p, 60*sim.Nanosecond)
+				if useDSA {
+					pending = append(pending, eng.Submit(p, core, src, dst, size))
+					if len(pending) >= 8 {
+						pending[0].Wait(p, core)
+						pending = pending[1:]
+					}
+				} else {
+					core.StreamRead(p, src, size)
+					core.StreamWrite(p, dst, size)
+				}
+			}
+			for _, c := range pending {
+				c.Wait(p, core)
+			}
+			done = pkts
+			if eng != nil {
+				eng.Stop()
+			}
+		})
+		if err := k.Run(); err != nil {
+			panic(err)
+		}
+		return float64(done) / k.Now().Seconds()
+	}
+
+	cpu := measure(false)
+	off := measure(true)
+	t := &stats.Table{
+		Name:    "single-core 4KB TX preparation (SPR)",
+		Columns: []string{"transfer path", "Kops/s", "speedup"},
+	}
+	t.AddRow("CPU copy", fmt.Sprintf("%.0f", cpu/1e3), "1.00x")
+	t.AddRow("DSA offload", fmt.Sprintf("%.0f", off/1e3), fmt.Sprintf("%.2fx", off/cpu))
+	return &Report{ID: "ext-dsa", Title: "Hardware bulk transfers", Tables: []*stats.Table{t}}
+}
+
+// runExtEvent compares descriptor-discovery behavior when one NIC core
+// serves many queues, polled versus event-driven.
+func runExtEvent(opt Options) *Report {
+	counts := []int{2, 8, 16}
+	if opt.Quick {
+		counts = []int{2, 8}
+	}
+	t := &stats.Table{
+		Name:    "one NIC core serving N trickle queues (ICX, 64B): ring scans per delivered packet",
+		Columns: []string{"queues", "polled scans/pkt", "event scans/pkt", "polled lat [ns]", "event lat [ns]"},
+	}
+	for _, n := range counts {
+		row := []string{fmt.Sprintf("%d", n)}
+		var scans [2]float64
+		var lats [2]float64
+		for i, ev := range []bool{false, true} {
+			cfg := device.CCNICConfig()
+			cfg.NICCores = 1
+			cfg.EventDriven = ev
+			k := sim.New()
+			sys := coherence.NewSystem(k, platform.ICX())
+			sys.SetPrefetch(0, true)
+			nicAgent := sys.NewAgent(1, "niccore") // one core, one cache
+			var hosts, nics []*coherence.Agent
+			for j := 0; j < n; j++ {
+				hosts = append(hosts, sys.NewAgent(0, "h"))
+				nics = append(nics, nicAgent)
+			}
+			dev := device.NewUPI("upi", sys, cfg, hosts, nics)
+			res := loopback.Run(loopback.Config{
+				Sys: sys, Dev: dev, Hosts: hosts,
+				PktSize: 64, Rate: 40_000,
+				Warmup: 20 * sim.Microsecond, Measure: 100 * sim.Microsecond,
+			})
+			pkts := res.PPS * (120 * sim.Microsecond).Seconds()
+			scans[i] = float64(dev.NICSteps()) / pkts
+			lats[i] = res.Latency.Median().Nanoseconds()
+		}
+		row = append(row,
+			fmt.Sprintf("%.0f", scans[0]), fmt.Sprintf("%.1f", scans[1]),
+			fmt.Sprintf("%.0f", lats[0]), fmt.Sprintf("%.0f", lats[1]))
+		t.AddRow(row...)
+	}
+	return &Report{
+		ID:     "ext-event",
+		Title:  "Event-driven NIC signaling",
+		Tables: []*stats.Table{t},
+		Notes: []string{
+			"a polling NIC core scans every ring continuously; reacting to coherence messages serves only signaled queues",
+		},
+	}
+}
+
+// runExtNetfn measures interconnect bytes per forwarded packet for a
+// header-only middlebox, coherent versus PCIe.
+func runExtNetfn(opt Options) *Report {
+	sizes := []int{256, 1536, 4096}
+	if opt.Quick {
+		sizes = []int{256, 4096}
+	}
+	t := &stats.Table{
+		Name:    "header-only forwarding: interconnect bytes per packet (ICX)",
+		Columns: []string{"pkt size", "CC-NIC wire B/pkt", "E810 DMA B/pkt", "reduction"},
+	}
+	for _, size := range sizes {
+		// Coherent path.
+		k := sim.New()
+		sys := coherence.NewSystem(k, platform.ICX())
+		sys.SetPrefetch(0, true)
+		host := sys.NewAgent(0, "fwd")
+		nic := sys.NewAgent(1, "nic")
+		dev := device.NewUPI("ccnic", sys, device.CCNICConfig(),
+			[]*coherence.Agent{host}, []*coherence.Agent{nic})
+		span := 130 * sim.Microsecond
+		res := loopback.RunForward(loopback.Config{
+			Sys: sys, Dev: dev, Hosts: []*coherence.Agent{host},
+			PktSize: size, Warmup: 30 * sim.Microsecond, Measure: 100 * sim.Microsecond,
+		}, 3e6)
+		st := sys.Link().Stats()
+		cc := float64(st.WireBytes[0]+st.WireBytes[1]) / (res.PPS * span.Seconds())
+
+		// PCIe path.
+		k2 := sim.New()
+		sys2 := coherence.NewSystem(k2, platform.ICX())
+		sys2.SetPrefetch(0, true)
+		host2 := sys2.NewAgent(0, "fwd")
+		pdev := device.NewPCIeNIC(sys2, platform.E810(), []*coherence.Agent{host2})
+		res2 := loopback.RunForward(loopback.Config{
+			Sys: sys2, Dev: pdev, Hosts: []*coherence.Agent{host2},
+			PktSize: size, Warmup: 30 * sim.Microsecond, Measure: 100 * sim.Microsecond,
+		}, 3e6)
+		pst := pdev.Endpoint().Stats()
+		pe := float64(pst.DMABytes[0]+pst.DMABytes[1]) / (res2.PPS * span.Seconds())
+
+		t.AddRow(fmt.Sprintf("%d", size), fmt.Sprintf("%.0f", cc),
+			fmt.Sprintf("%.0f", pe), fmt.Sprintf("%.1fx", pe/cc))
+	}
+	return &Report{ID: "ext-netfn", Title: "Network-function forwarding", Tables: []*stats.Table{t}}
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "ext-cxl",
+		Title: "EXT (§5.9/§6): CC-NIC projected onto a CXL 2.0 x16 attached NIC",
+		Paper: "Fig 21 argues CC-NIC's benefits hold at CXL-like latency (170-250ns) and bandwidth; this runs the full stack there",
+		Run:   runExtCXL,
+	})
+}
+
+// runExtCXL runs the headline loopback comparison on the projected CXL
+// platform: CC-NIC and the unoptimized interface over CXL.cache, with the
+// PCIe E810 (which a CXL slot would replace) as the baseline.
+func runExtCXL(opt Options) *Report {
+	queues := 16
+	if opt.Quick {
+		queues = 4
+	}
+	t := &stats.Table{
+		Name:    fmt.Sprintf("64B loopback over projected CXL 2.0 x16 (%d cores)", queues),
+		Columns: []string{"interface", "peak Mpps", "unloaded median [ns]"},
+	}
+	for _, c := range []struct {
+		name  string
+		iface ccnic.Interface
+		plat  *platform.Platform
+	}{
+		{"CC-NIC over CXL", ccnic.CCNIC, platform.CXL()},
+		{"Unopt over CXL", ccnic.UnoptUPI, platform.CXL()},
+		{"E810 PCIe (host)", ccnic.E810, platform.SPR()},
+	} {
+		c := c
+		mk := func(q int) *ccnic.Testbed {
+			return ccnic.NewTestbed(ccnic.Config{
+				Plat: c.plat, Interface: c.iface, Queues: q, HostPrefetch: true,
+			})
+		}
+		o := ccnic.LoopbackOptions{PktSize: 64, Window: 128,
+			Warmup: 30 * sim.Microsecond, Measure: 100 * sim.Microsecond}
+		if opt.Quick {
+			o.Warmup, o.Measure = 20*sim.Microsecond, 60*sim.Microsecond
+		}
+		peak := mk(queues).RunLoopback(o)
+		lo := o
+		lo.Rate = 100_000
+		lat := mk(1).RunLoopback(lo)
+		t.AddRow(c.name, fmt.Sprintf("%.1f", peak.Mpps()),
+			fmt.Sprintf("%.0f", lat.Latency.Median().Nanoseconds()))
+	}
+	return &Report{
+		ID:     "ext-cxl",
+		Title:  "CC-NIC on CXL (projection)",
+		Tables: []*stats.Table{t},
+		Notes: []string{
+			"a prediction, not a reproduction: no CXL-attached NIC exists to compare against",
+		},
+	}
+}

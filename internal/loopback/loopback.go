@@ -1,0 +1,226 @@
+// Package loopback implements the paper's measurement methodology (§5.1): a
+// DPDK-style traffic generator where each host thread owns a private queue
+// pair, allocates TX buffers, writes full timestamped payloads, polls its RX
+// queue, touches every received payload, and frees buffers. Throughput is
+// counted and latency sampled only after a warmup period.
+//
+// Two load modes match the paper's sweeps: closed-loop (a fixed in-flight
+// window, used to find the maximum sustainable rate) and open-loop (a fixed
+// offered rate, used to draw throughput-latency curves up to saturation).
+package loopback
+
+import (
+	"fmt"
+
+	"ccnic/internal/bufpool"
+	"ccnic/internal/coherence"
+	"ccnic/internal/device"
+	"ccnic/internal/mem"
+	"ccnic/internal/sim"
+	"ccnic/internal/stats"
+	"ccnic/internal/trace"
+)
+
+// payloadLines collects the payload cache lines of a burst so accesses can
+// overlap across packets, as an out-of-order core would.
+func payloadLines(bufs []*bufpool.Buf) []mem.Addr {
+	var lines []mem.Addr
+	for _, b := range bufs {
+		mem.Lines(b.Addr, b.Len, func(l mem.Addr) { lines = append(lines, l) })
+	}
+	return lines
+}
+
+// Config describes one loopback run.
+type Config struct {
+	Sys   *coherence.System
+	Dev   device.Device
+	Hosts []*coherence.Agent // host agents, one per device queue
+
+	PktSize int
+	// Rate is the offered load per queue in packets/second; 0 selects
+	// closed-loop mode.
+	Rate float64
+	// Window is the closed-loop in-flight limit per queue (default 64).
+	Window int
+	// TxBatch and RxBatch are burst sizes (default 32).
+	TxBatch int
+	RxBatch int
+
+	Warmup  sim.Time // default 50us
+	Measure sim.Time // default 200us
+
+	// Trace optionally samples packet lifecycles (nil disables tracing).
+	// Queue i's packet seq numbers are offset so samples do not collide.
+	Trace *trace.Tracer
+}
+
+// Result aggregates a run's measurements.
+type Result struct {
+	PPS     float64 // received packets per second (all queues)
+	Gbps    float64 // received payload throughput
+	Latency stats.Histogram
+	// Dropped counts packets not received by the end of the run
+	// (in-flight remainder; large values indicate overload).
+	Dropped int64
+}
+
+// Mpps returns throughput in millions of packets per second.
+func (r *Result) Mpps() float64 { return r.PPS / 1e6 }
+
+type stopper interface{ Stop() }
+
+// Run executes the loopback workload and returns its measurements.
+func Run(cfg Config) Result {
+	if len(cfg.Hosts) != cfg.Dev.NumQueues() {
+		panic("loopback: host agent count must match device queues")
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 64
+	}
+	if cfg.TxBatch == 0 {
+		cfg.TxBatch = 32
+	}
+	if cfg.RxBatch == 0 {
+		cfg.RxBatch = 32
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 50 * sim.Microsecond
+	}
+	if cfg.Measure == 0 {
+		cfg.Measure = 200 * sim.Microsecond
+	}
+	k := cfg.Sys.Kernel()
+	cfg.Dev.Start()
+
+	end := k.Now() + cfg.Warmup + cfg.Measure
+	warmupEnd := k.Now() + cfg.Warmup
+	type queueStats struct {
+		hist       stats.Histogram
+		rxCount    int64
+		sent, rcvd int64
+	}
+	qs := make([]queueStats, cfg.Dev.NumQueues())
+
+	for i := 0; i < cfg.Dev.NumQueues(); i++ {
+		i := i
+		q := cfg.Dev.Queue(i)
+		a := cfg.Hosts[i]
+		st := &qs[i]
+		k.Spawn(fmt.Sprintf("loopgen%d", i), func(p *sim.Proc) {
+			rx := make([]*bufpool.Buf, cfg.RxBatch)
+			var nextSend sim.Time
+			interval := sim.Time(0)
+			if cfg.Rate > 0 {
+				interval = sim.Time(1e12 / cfg.Rate)
+				nextSend = p.Now()
+			}
+			for p.Now() < end {
+				progress := false
+
+				// --- Transmit ---
+				want := 0
+				inflight := int(st.sent - st.rcvd)
+				if cfg.Rate == 0 {
+					want = cfg.Window - inflight
+				} else {
+					for nextSend+sim.Time(want)*interval <= p.Now() {
+						want++
+					}
+					// Cap the backlog so overload shows up as
+					// latency, not unbounded memory.
+					if inflight+want > 4*cfg.Window {
+						want = 4*cfg.Window - inflight
+					}
+				}
+				if want > cfg.TxBatch {
+					want = cfg.TxBatch
+				}
+				if want > 0 {
+					bufs := make([]*bufpool.Buf, 0, want)
+					for j := 0; j < want; j++ {
+						b := q.Port().Alloc(p, cfg.PktSize)
+						if b == nil {
+							break
+						}
+						b.Len = cfg.PktSize
+						b.Born = p.Now()
+						b.Seq = uint64(st.sent) + uint64(j) + 1
+						cfg.Trace.Mark(traceSeq(i, b.Seq), trace.Born, p.Now())
+						bufs = append(bufs, b)
+					}
+					a.ScatterWrite(p, payloadLines(bufs))
+					n := q.TxBurst(p, bufs)
+					for j := 0; j < n; j++ {
+						cfg.Trace.Mark(traceSeq(i, bufs[j].Seq), trace.Submitted, p.Now())
+					}
+					if n < len(bufs) {
+						q.Port().FreeBurst(p, bufs[n:])
+					}
+					st.sent += int64(n)
+					if cfg.Rate > 0 {
+						nextSend += sim.Time(n) * interval
+					}
+					progress = n > 0
+				}
+
+				// --- Receive ---
+				got := q.RxBurst(p, rx)
+				if got > 0 {
+					a.GatherRead(p, payloadLines(rx[:got]))
+					now := p.Now()
+					for j := 0; j < got; j++ {
+						b := rx[j]
+						cfg.Trace.Mark(traceSeq(i, b.Seq), trace.Received, now)
+						if now > warmupEnd {
+							st.rxCount++
+							st.hist.Record(now - b.Born)
+						}
+					}
+					q.Release(p, rx[:got])
+					st.rcvd += int64(got)
+					progress = true
+				}
+
+				if !progress {
+					p.Sleep(cfg.Sys.Platform().PollGap * 2)
+				}
+			}
+		})
+	}
+
+	// Backstop: the run must terminate even if a queue wedges.
+	deadline := end + 10*cfg.Warmup
+	if err := k.RunUntil(deadline); err != nil {
+		panic(fmt.Sprintf("loopback: %v", err))
+	}
+	if s, ok := cfg.Dev.(stopper); ok {
+		s.Stop()
+	}
+	if err := k.RunUntil(deadline + sim.Millisecond); err != nil {
+		panic(fmt.Sprintf("loopback: %v", err))
+	}
+
+	var res Result
+	measured := cfg.Measure.Seconds()
+	for i := range qs {
+		res.PPS += float64(qs[i].rxCount) / measured
+		res.Latency.Merge(&qs[i].hist)
+		res.Dropped += qs[i].sent - qs[i].rcvd
+	}
+	res.Gbps = res.PPS * float64(cfg.PktSize) * 8 / 1e9
+	return res
+}
+
+// traceSeq derives a tracer key unique across queues.
+func traceSeq(queue int, seq uint64) int64 {
+	return int64(queue)<<48 | int64(seq)
+}
+
+// MaxRate runs a closed-loop probe and returns the sustainable per-queue
+// packet rate, used to place the offered-load points of a latency curve.
+func MaxRate(cfg Config) float64 {
+	cfg.Rate = 0
+	res := Run(cfg)
+	return res.PPS / float64(cfg.Dev.NumQueues())
+}

@@ -1,0 +1,140 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHomeEncoding(t *testing.T) {
+	s := NewSpace()
+	a0 := s.Alloc(0, 128, 0)
+	a1 := s.Alloc(1, 128, 0)
+	if Home(a0) != 0 {
+		t.Errorf("Home(%#x) = %d, want 0", a0, Home(a0))
+	}
+	if Home(a1) != 1 {
+		t.Errorf("Home(%#x) = %d, want 1", a1, Home(a1))
+	}
+}
+
+func TestAllocAlignmentAndDisjointness(t *testing.T) {
+	s := NewSpace()
+	seen := map[Addr]bool{}
+	for i := 0; i < 100; i++ {
+		a := s.Alloc(i%2, 100, 256)
+		if a%256 != 0 {
+			t.Fatalf("alloc %#x not 256-aligned", a)
+		}
+		for off := Addr(0); off < 100; off += LineSize {
+			l := LineOf(a + off)
+			if seen[l] {
+				t.Fatalf("line %#x allocated twice", l)
+			}
+			seen[l] = true
+		}
+	}
+}
+
+func TestAllocZeroAlignDefaultsToLine(t *testing.T) {
+	s := NewSpace()
+	s.Alloc(0, 3, 0) // odd size to misalign the bump pointer
+	a := s.Alloc(0, 64, 0)
+	if a%LineSize != 0 {
+		t.Errorf("alloc %#x not line-aligned", a)
+	}
+}
+
+func TestAllocPanics(t *testing.T) {
+	s := NewSpace()
+	for _, fn := range []func(){
+		func() { s.Alloc(2, 64, 0) },
+		func() { s.Alloc(0, 0, 0) },
+		func() { s.Alloc(0, 64, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLineMath(t *testing.T) {
+	if LineOf(0x7f) != 0x40 {
+		t.Errorf("LineOf(0x7f) = %#x", LineOf(0x7f))
+	}
+	cases := []struct {
+		a    Addr
+		size int
+		want int
+	}{
+		{0, 1, 1},
+		{0, 64, 1},
+		{0, 65, 2},
+		{63, 2, 2},
+		{64, 64, 1},
+		{0, 0, 0},
+		{10, 4096, 65},
+	}
+	for _, c := range cases {
+		if got := LineCount(c.a, c.size); got != c.want {
+			t.Errorf("LineCount(%#x, %d) = %d, want %d", c.a, c.size, got, c.want)
+		}
+	}
+}
+
+func TestLinesVisitsEveryLineOnce(t *testing.T) {
+	var lines []Addr
+	Lines(70, 130, func(l Addr) { lines = append(lines, l) })
+	want := []Addr{64, 128, 192}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("lines = %v, want %v", lines, want)
+		}
+	}
+	Lines(0, 0, func(Addr) { t.Error("empty region should visit nothing") })
+}
+
+// Property: LineCount agrees with the number of Lines callbacks, and all
+// visited lines are line-aligned, monotone, and cover the region.
+func TestLineCountMatchesLines(t *testing.T) {
+	f := func(off uint16, size uint16) bool {
+		a := Addr(off)
+		n := 0
+		prev := Addr(0)
+		ok := true
+		Lines(a, int(size), func(l Addr) {
+			if l%LineSize != 0 || (n > 0 && l != prev+LineSize) {
+				ok = false
+			}
+			prev = l
+			n++
+		})
+		return ok && n == LineCount(a, int(size))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUsedAccounting(t *testing.T) {
+	s := NewSpace()
+	s.Alloc(0, 64, 0)
+	s.Alloc(0, 64, 0)
+	if s.Used(0) != 128 {
+		t.Errorf("Used(0) = %d, want 128", s.Used(0))
+	}
+	if s.Used(1) != 0 {
+		t.Errorf("Used(1) = %d, want 0", s.Used(1))
+	}
+	s.AllocLines(1, 4)
+	if s.Used(1) != 256 {
+		t.Errorf("Used(1) = %d, want 256", s.Used(1))
+	}
+}

@@ -1,0 +1,352 @@
+// Package ring implements the descriptor ring layouts studied by the paper:
+//
+//   - Inline rings carry the ready signal inside the descriptor line
+//     (CC-NIC §3.2), in three layouts: Grouped (4x16B descriptors sharing
+//     one per-line signal — the optimized design), Packed (4x16B with a
+//     signal per descriptor — thrashes under contention), and Padded (one
+//     descriptor per line — latency-optimal but space-wasteful).
+//
+//   - Reg rings are the conventional E810-style layout: tightly packed 16B
+//     descriptors with external head/tail registers and completion (DD)
+//     writebacks. The ring stores layout math and slot state; drivers and
+//     device models charge the accesses, since PCIe NICs reach the same
+//     ring through DMA rather than loads and stores.
+//
+// Descriptor content is carried out-of-band in Go objects; the simulated
+// memory is used only for timing and coherence state.
+package ring
+
+import (
+	"fmt"
+
+	"ccnic/internal/bufpool"
+	"ccnic/internal/coherence"
+	"ccnic/internal/mem"
+	"ccnic/internal/sim"
+)
+
+// DescSize is the packed descriptor size (the paper's typical 16B).
+const DescSize = 16
+
+// SlotsPerLine is how many packed descriptors fit a cache line.
+const SlotsPerLine = mem.LineSize / DescSize
+
+// Layout selects the inline-signal descriptor arrangement (Fig 14b).
+type Layout int
+
+// Inline ring layouts.
+const (
+	// Grouped is CC-NIC's optimized layout: up to 4 descriptors per
+	// line, unused slots zeroed, one signal per line.
+	Grouped Layout = iota
+	// Packed places 4 descriptors per line each with its own inline
+	// signal; producer and consumer contend within a line.
+	Packed
+	// Padded places one descriptor (and signal) per cache line.
+	Padded
+)
+
+func (l Layout) String() string {
+	switch l {
+	case Grouped:
+		return "grouped"
+	case Packed:
+		return "packed"
+	case Padded:
+		return "padded"
+	}
+	return "unknown"
+}
+
+// DescsPerLine returns how many descriptors the layout places per line.
+func (l Layout) DescsPerLine() int {
+	if l == Padded {
+		return 1
+	}
+	return SlotsPerLine
+}
+
+// line is the simulation-side state of one descriptor cache line.
+type line struct {
+	bufs  [SlotsPerLine]*bufpool.Buf
+	count int  // valid descriptors in the line
+	taken int  // descriptors already consumed from the line
+	ready bool // line-level signal (Grouped/Padded)
+	// visibleAt gates readiness: the producer's store-buffered write
+	// becomes observable to the consumer only after the RFO completes.
+	visibleAt sim.Time
+	// clearVisibleAt gates the producer's reclaim of a consumer-cleared
+	// line, symmetrically.
+	clearVisibleAt sim.Time
+	// Packed layout: per-slot ready flags and visibility.
+	slotReady   [SlotsPerLine]bool
+	slotVisible [SlotsPerLine]sim.Time
+}
+
+// Inline is an inline-signaled descriptor ring. The producer publishes
+// descriptor groups and the consumer polls the next line directly — no
+// head/tail registers exist. The consumer clears each line after use; the
+// cleared state is both the flow-control credit and the completion signal
+// (the paper's two-way single-line communication).
+type Inline struct {
+	sys    *coherence.System
+	layout Layout
+	nLines int
+	base   mem.Addr
+	lines  []line
+
+	prod     int // next line to publish (absolute, monotone)
+	prodSlot int // packed layout: next slot within the current line
+	cons     int // next line to consume
+	credits  int // lines known clear ahead of prod
+	reclaim  int // next line to scan for cleared state
+
+	reclaimedSinceTake int
+}
+
+// NewInline allocates an inline ring of nLines cache lines, homed on the
+// producer's socket (writer-homing, per §3.2).
+func NewInline(sys *coherence.System, layout Layout, nLines, producerSocket int) *Inline {
+	if nLines < 4 {
+		panic("ring: inline ring needs at least 4 lines")
+	}
+	return &Inline{
+		sys:     sys,
+		layout:  layout,
+		nLines:  nLines,
+		base:    sys.Space().AllocLines(producerSocket, nLines),
+		lines:   make([]line, nLines),
+		credits: nLines - 1, // one line gap keeps prod from lapping cons
+	}
+}
+
+// Layout returns the ring's descriptor layout.
+func (r *Inline) Layout() Layout { return r.layout }
+
+// Cap returns the ring capacity in descriptors.
+func (r *Inline) Cap() int { return r.nLines * r.layout.DescsPerLine() }
+
+// lineAddr returns the address of ring line i (absolute index).
+func (r *Inline) lineAddr(i int) mem.Addr {
+	return r.base + mem.Addr((i%r.nLines)*mem.LineSize)
+}
+
+func (r *Inline) lineAt(i int) *line { return &r.lines[i%r.nLines] }
+
+// Post publishes up to len(bufs) descriptors from the producer agent,
+// returning how many were accepted (limited by ring space). Each burst is
+// packed into whole lines; a line is finalized when published, so the
+// consumer's skip-to-next-line rule (§3.2) is implicit.
+func (r *Inline) Post(p *sim.Proc, a *coherence.Agent, bufs []*bufpool.Buf) int {
+	if len(bufs) == 0 {
+		return 0
+	}
+	r.replenish(p, a, len(bufs))
+	posted := 0
+	if r.layout == Packed {
+		// Packed: successive posts keep filling the current line, one
+		// store per descriptor+signal. The store coalesces in the
+		// producer's cache unless the consumer steals the line between
+		// stores — the thrashing the paper measures.
+		for posted < len(bufs) {
+			ln := r.lineAt(r.prod)
+			if r.prodSlot == 0 {
+				if r.credits == 0 {
+					break
+				}
+				r.credits--
+			}
+			i := r.prodSlot
+			// Charge the store first: its sleep can yield to the
+			// consumer, which must not observe the flag with a stale
+			// visibility gate.
+			vis := a.WriteAsync(p, r.lineAddr(r.prod)+mem.Addr(i*DescSize), DescSize)
+			ln.bufs[i] = bufs[posted]
+			ln.count = i + 1
+			ln.slotVisible[i] = vis
+			ln.slotReady[i] = true
+			posted++
+			r.prodSlot++
+			if r.prodSlot == SlotsPerLine {
+				r.prodSlot = 0
+				r.prod++
+			}
+		}
+		return posted
+	}
+	per := r.layout.DescsPerLine()
+	for posted < len(bufs) && r.credits > 0 {
+		ln := r.lineAt(r.prod)
+		n := len(bufs) - posted
+		if n > per {
+			n = per
+		}
+		// Charge the store first (see the packed path): the consumer
+		// must never observe ready with a stale visibility gate.
+		vis := a.WriteAsync(p, r.lineAddr(r.prod), mem.LineSize)
+		for i := 0; i < n; i++ {
+			ln.bufs[i] = bufs[posted+i]
+		}
+		ln.count = n
+		ln.visibleAt = vis
+		ln.ready = true
+		r.prod++
+		r.credits--
+		posted += n
+	}
+	return posted
+}
+
+// replenish scans forward from the reclaim pointer for consumer-cleared
+// lines when credits run low, converting them into producer credits. The
+// scan overlaps its reads (GatherRead), modeling a burst reclaim pass.
+func (r *Inline) replenish(p *sim.Proc, a *coherence.Agent, want int) {
+	needLines := (want + r.layout.DescsPerLine() - 1) / r.layout.DescsPerLine()
+	if r.credits >= needLines && r.credits >= r.nLines/4 {
+		return
+	}
+	var scan []mem.Addr
+	limit := r.cons // cannot reclaim past the consumer
+	now := p.Now()
+	for r.reclaim < limit && len(scan) < r.nLines {
+		ln := r.lineAt(r.reclaim)
+		if !r.cleared(ln) || now < ln.clearVisibleAt {
+			break
+		}
+		scan = append(scan, r.lineAddr(r.reclaim))
+		r.reclaim++
+		r.credits++
+	}
+	if len(scan) > 0 {
+		a.GatherRead(p, scan)
+		r.reclaimedSinceTake += len(scan)
+	}
+}
+
+// TakeReclaimed returns the number of ring lines reclaimed (observed cleared
+// by the consumer) since the last call. Producers that manage buffers
+// host-side use this to free the corresponding in-flight TX buffers.
+func (r *Inline) TakeReclaimed() int {
+	n := r.reclaimedSinceTake
+	r.reclaimedSinceTake = 0
+	return n
+}
+
+func (r *Inline) cleared(ln *line) bool {
+	if ln.ready || ln.count != 0 {
+		return false
+	}
+	for _, s := range ln.slotReady {
+		if s {
+			return false
+		}
+	}
+	return true
+}
+
+// Consume polls the consumer's current position and takes up to max
+// descriptors, clearing consumed state (the completion/credit signal).
+// It returns the buffers taken; an empty result means nothing was ready.
+func (r *Inline) Consume(p *sim.Proc, a *coherence.Agent, max int) []*bufpool.Buf {
+	var out []*bufpool.Buf
+	for len(out) < max {
+		ln := r.lineAt(r.cons)
+		addr := r.lineAddr(r.cons)
+		switch r.layout {
+		case Packed:
+			took := false
+			for ln.taken < SlotsPerLine && len(out) < max {
+				i := ln.taken
+				if ln.bufs[i] == nil || !ln.slotReady[i] || p.Now() < ln.slotVisible[i] {
+					break
+				}
+				// Poll+take+clear one descriptor slot.
+				a.Poll(p, addr+mem.Addr(i*DescSize), DescSize)
+				out = append(out, ln.bufs[i])
+				vis := a.WriteAsync(p, addr+mem.Addr(i*DescSize), DescSize)
+				ln.clearVisibleAt = vis
+				ln.bufs[i] = nil
+				ln.slotReady[i] = false
+				ln.taken++
+				took = true
+			}
+			if ln.taken == SlotsPerLine {
+				ln.count, ln.taken = 0, 0
+				r.cons++
+				continue
+			}
+			if !took {
+				a.Poll(p, addr+mem.Addr(ln.taken*DescSize), DescSize) // empty poll
+				return out
+			}
+			return out
+		default:
+			// A successful consume streams sequentially through ring
+			// lines, so it trains the hardware prefetcher (Read); an
+			// empty poll re-checks the same line and does not (Poll).
+			if ln.ready {
+				a.Read(p, addr, DescSize)
+			} else {
+				a.Poll(p, addr, DescSize)
+			}
+			if !ln.ready || p.Now() < ln.visibleAt {
+				return out
+			}
+			for ln.taken < ln.count && len(out) < max {
+				out = append(out, ln.bufs[ln.taken])
+				ln.bufs[ln.taken] = nil
+				ln.taken++
+			}
+			if ln.taken < ln.count {
+				return out // caller's batch filled mid-line
+			}
+			// Clearing the line is one coalesced store (the
+			// consumer already owns it after the poll). Charge it
+			// before exposing the cleared state.
+			vis := a.WriteAsync(p, addr, mem.LineSize)
+			ln.clearVisibleAt = vis
+			ln.count, ln.taken = 0, 0
+			ln.ready = false
+			r.cons++
+			// Driver-style software prefetch of the next ring line
+			// (rte_prefetch0): under backlog the following group's
+			// fetch overlaps with processing this one.
+			a.SoftPrefetch(r.lineAddr(r.cons))
+		}
+	}
+	return out
+}
+
+// Pending returns the number of published-but-unconsumed descriptors (for
+// tests and flow control).
+func (r *Inline) Pending() int {
+	n := 0
+	end := r.prod
+	if r.layout == Packed && r.prodSlot > 0 {
+		end++
+	}
+	for i := r.cons; i < end; i++ {
+		ln := r.lineAt(i)
+		if r.layout == Packed {
+			for j := ln.taken; j < ln.count; j++ {
+				if ln.bufs[j] != nil && ln.slotReady[j] {
+					n++
+				}
+			}
+		} else if ln.ready {
+			n += ln.count - ln.taken
+		}
+	}
+	return n
+}
+
+// SpaceLines returns the producer's current credit in lines.
+func (r *Inline) SpaceLines() int { return r.credits }
+
+// DebugString summarizes the ring's cursors and consumer-line state, for
+// diagnostics and tests.
+func (r *Inline) DebugString() string {
+	ln := r.lineAt(r.cons)
+	return fmt.Sprintf("prod %d cons %d credits %d reclaim %d | cons line: ready %v count %d taken %d visibleAt %v clearVis %v",
+		r.prod, r.cons, r.credits, r.reclaim, ln.ready, ln.count, ln.taken, ln.visibleAt, ln.clearVisibleAt)
+}

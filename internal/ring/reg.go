@@ -1,0 +1,108 @@
+package ring
+
+import (
+	"ccnic/internal/bufpool"
+	"ccnic/internal/coherence"
+	"ccnic/internal/mem"
+)
+
+// Reg is a conventional register-signaled descriptor ring: a circular array
+// of packed 16B descriptors in host memory, a producer tail register, a
+// consumer position, and per-descriptor completion (DD) writebacks.
+//
+// Reg stores layout math and slot state only. Access costs differ radically
+// between users — a PCIe NIC reaches the array with DMA while the
+// unoptimized-UPI NIC uses coherent loads and stores, and the host always
+// uses loads and stores — so the device and driver models charge time
+// themselves using the address helpers here.
+type Reg struct {
+	nDesc int
+	base  mem.Addr
+	tail  mem.Addr // producer doorbell register line
+	head  mem.Addr // consumer progress register line
+
+	slots []*bufpool.Buf
+	done  []bool
+
+	// Software indexes (monotone; callers take mod Size).
+	TailIdx int // producer publish position
+	HeadIdx int // consumer completion position
+}
+
+// NewReg allocates a register ring with nDesc descriptors. The descriptor
+// array lives on descSocket; the tail and head register lines live on
+// regSocket (device BAR space for PCIe NICs, device memory for the
+// unoptimized UPI baseline).
+func NewReg(sys *coherence.System, nDesc, descSocket, regSocket int) *Reg {
+	if nDesc < SlotsPerLine {
+		panic("ring: register ring too small")
+	}
+	sp := sys.Space()
+	return &Reg{
+		nDesc: nDesc,
+		base:  sp.Alloc(descSocket, nDesc*DescSize, mem.LineSize),
+		tail:  sp.AllocLines(regSocket, 1),
+		head:  sp.AllocLines(regSocket, 1),
+		slots: make([]*bufpool.Buf, nDesc),
+		done:  make([]bool, nDesc),
+	}
+}
+
+// Size returns the descriptor count.
+func (r *Reg) Size() int { return r.nDesc }
+
+// Space returns the number of free descriptor slots for the producer.
+func (r *Reg) Space() int { return r.nDesc - (r.TailIdx - r.HeadIdx) - 1 }
+
+// DescAddr returns the address of descriptor i (absolute index).
+func (r *Reg) DescAddr(i int) mem.Addr {
+	return r.base + mem.Addr((i%r.nDesc)*DescSize)
+}
+
+// TailReg returns the tail register line address.
+func (r *Reg) TailReg() mem.Addr { return r.tail }
+
+// HeadReg returns the head register line address.
+func (r *Reg) HeadReg() mem.Addr { return r.head }
+
+// LinesFor returns the distinct descriptor cache lines covering descriptors
+// [from, from+count).
+func (r *Reg) LinesFor(from, count int) []mem.Addr {
+	var lines []mem.Addr
+	last := mem.Addr(0)
+	for i := from; i < from+count; i++ {
+		l := mem.LineOf(r.DescAddr(i))
+		if l != last || len(lines) == 0 {
+			if len(lines) == 0 || lines[len(lines)-1] != l {
+				lines = append(lines, l)
+			}
+			last = l
+		}
+	}
+	return lines
+}
+
+// Put stores a buffer in slot i and clears its done flag.
+func (r *Reg) Put(i int, b *bufpool.Buf) {
+	r.slots[i%r.nDesc] = b
+	r.done[i%r.nDesc] = false
+}
+
+// Get returns the buffer in slot i.
+func (r *Reg) Get(i int) *bufpool.Buf { return r.slots[i%r.nDesc] }
+
+// Take removes and returns the buffer in slot i.
+func (r *Reg) Take(i int) *bufpool.Buf {
+	b := r.slots[i%r.nDesc]
+	r.slots[i%r.nDesc] = nil
+	return b
+}
+
+// SetDone marks descriptor i completed (the DD writeback).
+func (r *Reg) SetDone(i int) { r.done[i%r.nDesc] = true }
+
+// Done reports descriptor i's completion flag.
+func (r *Reg) Done(i int) bool { return r.done[i%r.nDesc] }
+
+// ClearDone resets descriptor i's completion flag.
+func (r *Reg) ClearDone(i int) { r.done[i%r.nDesc] = false }

@@ -1,0 +1,300 @@
+// Package rpcstack models the paper's TCP RPC workload (§5.7): a TAS-style
+// userspace TCP service. Fast-path threads own NIC queues and perform
+// per-packet TCP processing (flow lookup, sequence/ack state updates);
+// application threads exchange RPCs with the fast path through shared-memory
+// queues — here an echo server, as in the paper's evaluation. The NIC
+// interface is a drop-in choice (PCIe direct or CC-NIC Overlay), so the
+// experiment measures how many fast-path threads each interface needs to
+// saturate the NIC.
+package rpcstack
+
+import (
+	"fmt"
+
+	"ccnic/internal/bufpool"
+	"ccnic/internal/coherence"
+	"ccnic/internal/device"
+	"ccnic/internal/mem"
+	"ccnic/internal/sim"
+)
+
+// Per-packet fast-path CPU costs (instructions beyond memory operations),
+// modeled on TAS's reported fast-path budget.
+const (
+	tcpRxCost = 22 * sim.Nanosecond
+	tcpTxCost = 18 * sim.Nanosecond
+	appCost   = 4 * sim.Nanosecond // echo application work per RPC
+)
+
+// msgRing is a shared-memory SPSC message queue between a fast-path thread
+// and an application thread (both on the host socket). Messages are
+// 16B slots packed 4 per line with a line-granularity ready protocol, like
+// the NIC rings; costs are charged through the coherence model.
+type msgRing struct {
+	base   mem.Addr
+	nLines int
+	slots  []int // per-line message count; 0 = clear
+	vis    []sim.Time
+	prod   int
+	cons   int
+}
+
+func newMsgRing(sys *coherence.System, nLines, socket int) *msgRing {
+	return &msgRing{
+		base:   sys.Space().AllocLines(socket, nLines),
+		nLines: nLines,
+		slots:  make([]int, nLines),
+		vis:    make([]sim.Time, nLines),
+	}
+}
+
+func (r *msgRing) lineAddr(i int) mem.Addr {
+	return r.base + mem.Addr((i%r.nLines)*mem.LineSize)
+}
+
+// push publishes up to n messages, returning how many were accepted.
+func (r *msgRing) push(p *sim.Proc, a *coherence.Agent, n int) int {
+	pushed := 0
+	for pushed < n {
+		if r.prod-r.cons >= r.nLines-1 {
+			break // ring full
+		}
+		batch := n - pushed
+		if batch > 4 {
+			batch = 4
+		}
+		idx := r.prod % r.nLines
+		vis := a.WriteAsync(p, r.lineAddr(r.prod), mem.LineSize)
+		r.vis[idx] = vis
+		r.slots[idx] = batch
+		r.prod++
+		pushed += batch
+	}
+	return pushed
+}
+
+// pop consumes up to max messages.
+func (r *msgRing) pop(p *sim.Proc, a *coherence.Agent, max int) int {
+	took := 0
+	for took < max && r.cons < r.prod {
+		idx := r.cons % r.nLines
+		a.Poll(p, r.lineAddr(r.cons), 16)
+		if p.Now() < r.vis[idx] {
+			break
+		}
+		if r.slots[idx] == 0 || took+r.slots[idx] > max {
+			break
+		}
+		took += r.slots[idx]
+		r.slots[idx] = 0
+		a.WriteAsync(p, r.lineAddr(r.cons), mem.LineSize) // clear
+		r.cons++
+	}
+	return took
+}
+
+// Config describes one RPC benchmark run.
+type Config struct {
+	Sys *coherence.System
+	Dev device.Device // must implement device.Injector
+
+	// FastPath agents, one per NIC queue (the TAS fast-path threads).
+	FastPath []*coherence.Agent
+	// App is the application (echo server) agent.
+	App *coherence.Agent
+
+	// RPCSize is the echo payload size (the paper uses 64B).
+	RPCSize int
+	// RatePerQueue is the offered RPC rate per fast-path thread.
+	RatePerQueue float64
+
+	Burst   int      // default 32
+	Warmup  sim.Time // default 50us
+	Measure sim.Time // default 200us
+}
+
+// Result reports the echo throughput.
+type Result struct {
+	OpsPerSec float64
+}
+
+// Mops returns millions of echo RPCs per second.
+func (r *Result) Mops() float64 { return r.OpsPerSec / 1e6 }
+
+type stopper interface{ Stop() }
+
+// Run executes the echo RPC workload.
+func Run(cfg Config) Result {
+	inj, ok := cfg.Dev.(device.Injector)
+	if !ok {
+		panic("rpcstack: device must support ingress injection")
+	}
+	if cfg.RPCSize == 0 {
+		cfg.RPCSize = 64
+	}
+	if cfg.Burst == 0 {
+		cfg.Burst = 32
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 50 * sim.Microsecond
+	}
+	if cfg.Measure == 0 {
+		cfg.Measure = 200 * sim.Microsecond
+	}
+	nq := cfg.Dev.NumQueues()
+	if len(cfg.FastPath) != nq {
+		panic("rpcstack: fast-path agent count must match device queues")
+	}
+	k := cfg.Sys.Kernel()
+	sys := cfg.Sys
+	hostSocket := cfg.App.Socket()
+
+	// Flow state: one cache line per flow, touched per packet.
+	const flows = 96 // the paper's client uses 96 flows
+	flowBase := sys.Space().AllocLines(hostSocket, flows)
+
+	for i := 0; i < nq; i++ {
+		size := cfg.RPCSize
+		inj.SetIngress(i, cfg.RatePerQueue, func() int { return size })
+	}
+	cfg.Dev.Start()
+
+	end := k.Now() + cfg.Warmup + cfg.Measure
+
+	// Count echoes at the NIC, not at ring submission (backlog is not
+	// throughput).
+	txAtWarmup := make([]int64, nq)
+	txAtEnd := make([]int64, nq)
+	k.Spawn("rpc-accounting", func(p *sim.Proc) {
+		p.Sleep(cfg.Warmup)
+		for i := 0; i < nq; i++ {
+			txAtWarmup[i] = inj.TxCount(i)
+		}
+		p.Sleep(cfg.Measure)
+		for i := 0; i < nq; i++ {
+			txAtEnd[i] = inj.TxCount(i)
+		}
+	})
+
+	// Shared-memory queues between each fast-path thread and the app.
+	toApp := make([]*msgRing, nq)
+	toFP := make([]*msgRing, nq)
+	for i := 0; i < nq; i++ {
+		toApp[i] = newMsgRing(sys, 256, hostSocket)
+		toFP[i] = newMsgRing(sys, 256, hostSocket)
+	}
+
+	// Fast-path threads.
+	for i := 0; i < nq; i++ {
+		i := i
+		q := cfg.Dev.Queue(i)
+		a := cfg.FastPath[i]
+		flowOff := 0
+		k.Spawn(fmt.Sprintf("fastpath%d", i), func(p *sim.Proc) {
+			rx := make([]*bufpool.Buf, cfg.Burst)
+			pendingToApp := 0
+			for p.Now() < end {
+				busy := false
+				// RX: TCP receive processing, then hand to the app.
+				got := q.RxBurst(p, rx)
+				if got > 0 {
+					busy = true
+					for j := 0; j < got; j++ {
+						// Flow table lookup + state update.
+						fl := flowBase + mem.Addr(((flowOff+j)%flows)*mem.LineSize)
+						a.Read(p, fl, 32)
+						a.Exec(p, tcpRxCost)
+						a.Write(p, fl, 16)
+					}
+					flowOff += got
+					q.Release(p, rx[:got])
+					pendingToApp += got
+				}
+				if pendingToApp > 0 {
+					pendingToApp -= toApp[i].push(p, a, pendingToApp)
+				}
+				// Responses back from the app: TCP transmit.
+				n := toFP[i].pop(p, a, cfg.Burst)
+				if n > 0 {
+					busy = true
+					resp := make([]*bufpool.Buf, 0, n)
+					for j := 0; j < n; j++ {
+						b := q.Port().Alloc(p, cfg.RPCSize)
+						if b == nil {
+							break
+						}
+						b.Len = cfg.RPCSize
+						a.Exec(p, tcpTxCost)
+						resp = append(resp, b)
+					}
+					a.ScatterWrite(p, respLines(resp))
+					sent := 0
+					for sent < len(resp) && p.Now() < end {
+						m := q.TxBurst(p, resp[sent:])
+						if m == 0 {
+							p.Sleep(100 * sim.Nanosecond)
+							continue
+						}
+						sent += m
+					}
+					if sent < len(resp) {
+						q.Port().FreeBurst(p, resp[sent:])
+					}
+				}
+				if !busy {
+					p.Sleep(sys.Platform().PollGap * 2)
+				}
+			}
+		})
+	}
+
+	// Application (echo) thread: drains every fast-path queue.
+	k.Spawn("app", func(p *sim.Proc) {
+		for p.Now() < end {
+			busy := false
+			for i := 0; i < nq; i++ {
+				n := toApp[i].pop(p, cfg.App, cfg.Burst)
+				if n == 0 {
+					continue
+				}
+				busy = true
+				cfg.App.Exec(p, sim.Time(n)*appCost)
+				for pushed := 0; pushed < n && p.Now() < end; {
+					m := toFP[i].push(p, cfg.App, n-pushed)
+					if m == 0 {
+						p.Sleep(50 * sim.Nanosecond)
+						continue
+					}
+					pushed += m
+				}
+			}
+			if !busy {
+				p.Sleep(sys.Platform().PollGap * 2)
+			}
+		}
+	})
+
+	deadline := end + 10*cfg.Warmup
+	if err := k.RunUntil(deadline); err != nil {
+		panic(fmt.Sprintf("rpcstack: %v", err))
+	}
+	if s, ok := cfg.Dev.(stopper); ok {
+		s.Stop()
+	}
+	if err := k.RunUntil(deadline + sim.Millisecond); err != nil {
+		panic(fmt.Sprintf("rpcstack: %v", err))
+	}
+	var transmitted int64
+	for i := 0; i < nq; i++ {
+		transmitted += txAtEnd[i] - txAtWarmup[i]
+	}
+	return Result{OpsPerSec: float64(transmitted) / cfg.Measure.Seconds()}
+}
+
+func respLines(bufs []*bufpool.Buf) []mem.Addr {
+	lines := make([]mem.Addr, 0, len(bufs))
+	for _, b := range bufs {
+		lines = append(lines, mem.LineOf(b.Addr))
+	}
+	return lines
+}

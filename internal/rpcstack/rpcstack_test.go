@@ -1,0 +1,125 @@
+package rpcstack
+
+import (
+	"testing"
+
+	"ccnic/internal/coherence"
+	"ccnic/internal/device"
+	"ccnic/internal/platform"
+	"ccnic/internal/sim"
+)
+
+// buildPCIe assembles fast-path threads driving a CX6 directly.
+func buildPCIe(fp int) (*coherence.System, device.Device, []*coherence.Agent, *coherence.Agent) {
+	k := sim.New()
+	sys := coherence.NewSystem(k, platform.ICX())
+	sys.SetPrefetch(0, true) // the paper's default operating point
+	fps := make([]*coherence.Agent, fp)
+	for i := range fps {
+		fps[i] = sys.NewAgent(0, "fp")
+	}
+	app := sys.NewAgent(0, "app")
+	dev := device.NewPCIeNIC(sys, platform.CX6(), fps)
+	return sys, dev, fps, app
+}
+
+// buildOverlayRPC assembles fast-path threads over the CC-NIC Overlay.
+func buildOverlayRPC(fp int) (*coherence.System, device.Device, []*coherence.Agent, *coherence.Agent) {
+	k := sim.New()
+	sys := coherence.NewSystem(k, platform.ICX())
+	sys.SetPrefetch(0, true) // the paper's default operating point
+	fps := make([]*coherence.Agent, fp)
+	for i := range fps {
+		fps[i] = sys.NewAgent(0, "fp")
+	}
+	app := sys.NewAgent(0, "app")
+	ovs := make([]*coherence.Agent, 2*fp)
+	for i := range ovs {
+		ovs[i] = sys.NewAgent(1, "ov")
+	}
+	dev := device.NewOverlay(sys, device.CCNICConfig(), platform.CX6(), fps, ovs)
+	return sys, dev, fps, app
+}
+
+func runRPC(t *testing.T, build func(int) (*coherence.System, device.Device, []*coherence.Agent, *coherence.Agent), fp int, rate float64) Result {
+	t.Helper()
+	sys, dev, fps, app := build(fp)
+	res := Run(Config{
+		Sys:          sys,
+		Dev:          dev,
+		FastPath:     fps,
+		App:          app,
+		RatePerQueue: rate,
+		Warmup:       30 * sim.Microsecond,
+		Measure:      100 * sim.Microsecond,
+	})
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEchoCompletesRPCs(t *testing.T) {
+	res := runRPC(t, buildPCIe, 1, 1e6)
+	if res.OpsPerSec < 0.5e6 {
+		t.Fatalf("echo throughput %.2f Mops, want ~1 (offered)", res.Mops())
+	}
+	t.Logf("1 FP thread, 1Mrps offered: %.2f Mops", res.Mops())
+}
+
+func TestFastPathScaling(t *testing.T) {
+	one := runRPC(t, buildPCIe, 1, 50e6)
+	three := runRPC(t, buildPCIe, 3, 50e6)
+	if three.OpsPerSec < 1.8*one.OpsPerSec {
+		t.Errorf("3 FP threads (%.1f Mops) should be ~3x one (%.1f Mops)",
+			three.Mops(), one.Mops())
+	}
+	t.Logf("saturated per-thread: 1fp=%.1f Mops, 3fp=%.1f Mops total", one.Mops(), three.Mops())
+}
+
+func TestOverlayNeedsFewerThreads(t *testing.T) {
+	// Table 2's claim: the CC-NIC interface serves more RPCs per
+	// fast-path thread than the direct PCIe interface.
+	pcie := runRPC(t, buildPCIe, 2, 50e6)
+	over := runRPC(t, buildOverlayRPC, 2, 50e6)
+	if over.OpsPerSec <= pcie.OpsPerSec {
+		t.Errorf("overlay per-2-threads (%.1f Mops) should exceed PCIe (%.1f Mops)",
+			over.Mops(), pcie.Mops())
+	}
+	t.Logf("2 FP threads saturated: PCIe %.1f Mops, CC-NIC overlay %.1f Mops",
+		pcie.Mops(), over.Mops())
+}
+
+func TestMsgRingRoundtrip(t *testing.T) {
+	k := sim.New()
+	sys := coherence.NewSystem(k, platform.ICX())
+	sys.SetPrefetch(0, true) // the paper's default operating point
+	prod := sys.NewAgent(0, "prod")
+	cons := sys.NewAgent(0, "cons")
+	r := newMsgRing(sys, 8, 0)
+	k.Spawn("t", func(p *sim.Proc) {
+		if n := r.push(p, prod, 10); n != 10 {
+			t.Errorf("pushed %d, want 10", n)
+		}
+		p.Sleep(300 * sim.Nanosecond)
+		total := 0
+		for total < 10 {
+			n := r.pop(p, cons, 4)
+			if n == 0 {
+				p.Sleep(20 * sim.Nanosecond)
+			}
+			total += n
+		}
+		if total != 10 {
+			t.Errorf("popped %d", total)
+		}
+		// Ring full behavior: capacity is (nLines-1) lines.
+		pushed := r.push(p, prod, 1000)
+		if pushed > 7*4 {
+			t.Errorf("overfull ring accepted %d", pushed)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

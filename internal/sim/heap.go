@@ -1,0 +1,71 @@
+package sim
+
+// procHeap is a binary min-heap of processes ordered by (wake, seq). The seq
+// tiebreak makes scheduling FIFO among processes waking at the same instant,
+// which keeps simulations deterministic.
+type procHeap struct {
+	a []*Proc
+}
+
+func (h *procHeap) len() int { return len(h.a) }
+
+func (h *procHeap) less(i, j int) bool {
+	pi, pj := h.a[i], h.a[j]
+	if pi.wake != pj.wake {
+		return pi.wake < pj.wake
+	}
+	return pi.seq < pj.seq
+}
+
+func (h *procHeap) push(p *Proc) {
+	h.a = append(h.a, p)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.a[i], h.a[parent] = h.a[parent], h.a[i]
+		i = parent
+	}
+}
+
+func (h *procHeap) pop() *Proc {
+	if len(h.a) == 0 {
+		return nil
+	}
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a[last] = nil
+	h.a = h.a[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *procHeap) siftDown(i int) {
+	n := len(h.a)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.a[i], h.a[smallest] = h.a[smallest], h.a[i]
+		i = smallest
+	}
+}
+
+// peek returns the earliest process without removing it, or nil.
+func (h *procHeap) peek() *Proc {
+	if len(h.a) == 0 {
+		return nil
+	}
+	return h.a[0]
+}

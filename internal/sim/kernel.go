@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDeadlock is returned by Run when processes remain blocked on events but
+// no process is runnable, so virtual time can no longer advance.
+var ErrDeadlock = errors.New("sim: deadlock: processes blocked with empty run queue")
+
+// procState tracks where a process is in its lifecycle.
+type procState uint8
+
+const (
+	procNew procState = iota
+	procRunnable
+	procRunning
+	procWaiting // blocked on an Event
+	procDone
+)
+
+// abortSignal is panicked into a process goroutine to unwind it when the
+// kernel shuts down mid-simulation.
+type abortSignal struct{}
+
+// Proc is a simulated process. A Proc's function runs on its own goroutine,
+// but the kernel guarantees that at most one process executes at any moment,
+// so processes may freely share model state without synchronization.
+//
+// All Proc methods must be called from the process's own goroutine while it
+// is running.
+type Proc struct {
+	k     *Kernel
+	name  string
+	id    int
+	state procState
+
+	wake Time // scheduled resume time while runnable
+	seq  uint64
+
+	resume chan bool // kernel -> proc; false means abort
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Sleep advances virtual time for this process by d, yielding to any other
+// process scheduled earlier. Negative durations are treated as zero.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.wake = p.k.now + d
+	p.k.push(p)
+	p.park(procRunnable)
+}
+
+// Yield reschedules the process at the current time, behind every other
+// process already scheduled at this time.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Wait blocks until ev is signaled. Waiters resume in FIFO order at the
+// virtual time of the Signal call.
+func (p *Proc) Wait(ev *Event) {
+	ev.waiters = append(ev.waiters, p)
+	p.park(procWaiting)
+}
+
+// park hands control back to the kernel and blocks until resumed.
+func (p *Proc) park(s procState) {
+	p.state = s
+	p.k.yielded <- p
+	if ok := <-p.resume; !ok {
+		panic(abortSignal{})
+	}
+	p.state = procRunning
+}
+
+// Kernel is a discrete-event simulation kernel. Create one with New, add
+// processes with Spawn, then call Run or RunUntil.
+type Kernel struct {
+	now     Time
+	heap    procHeap
+	seq     uint64
+	nextID  int
+	live    int // spawned and not yet done
+	waiting int // procs blocked on events
+	running bool
+	stopped bool
+
+	yielded chan *Proc // procs announce they have parked or finished
+	events  []*Event   // all events, so Shutdown can abort their waiters
+}
+
+// New creates an empty kernel at time zero.
+func New() *Kernel {
+	return &Kernel{yielded: make(chan *Proc)}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Live returns the number of spawned processes that have not finished.
+func (k *Kernel) Live() int { return k.live }
+
+// Spawn creates a process that will first run at the current virtual time.
+// It may be called before Run or from a running process.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		id:     k.nextID,
+		state:  procNew,
+		wake:   k.now,
+		resume: make(chan bool),
+	}
+	k.nextID++
+	k.live++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSignal); !ok {
+					panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+				}
+			}
+			p.state = procDone
+			k.yielded <- p
+		}()
+		if ok := <-p.resume; !ok {
+			panic(abortSignal{})
+		}
+		p.state = procRunning
+		fn(p)
+	}()
+	k.push(p)
+	return p
+}
+
+// push schedules p on the run queue at p.wake.
+func (k *Kernel) push(p *Proc) {
+	k.seq++
+	p.seq = k.seq
+	k.heap.push(p)
+}
+
+// Stop requests that Run return after the current process parks; remaining
+// processes are then aborted. Call from a running process or before Run.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes processes in virtual-time order until all have finished, Stop
+// is called, or deadlock is detected. It returns ErrDeadlock if processes
+// remain blocked on events that nothing can signal.
+func (k *Kernel) Run() error { return k.run(-1) }
+
+// RunUntil executes like Run but also returns (with nil error) once the next
+// scheduled process would run strictly after deadline; the clock is then set
+// to deadline. Processes left parked remain resumable by a later Run or
+// RunUntil call, and can be discarded with Shutdown.
+func (k *Kernel) RunUntil(deadline Time) error { return k.run(deadline) }
+
+func (k *Kernel) run(deadline Time) error {
+	if k.running {
+		return errors.New("sim: kernel already running")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for !k.stopped {
+		p := k.heap.pop()
+		if p == nil {
+			if k.waiting > 0 {
+				if deadline >= 0 {
+					// Event waiters are legitimately idle under a
+					// deadline: a later Run may still signal them.
+					if k.now < deadline {
+						k.now = deadline
+					}
+					return nil
+				}
+				return ErrDeadlock
+			}
+			return nil // all processes finished
+		}
+		if deadline >= 0 && p.wake > deadline {
+			k.push(p) // reschedule for a future Run
+			if k.now < deadline {
+				k.now = deadline
+			}
+			return nil
+		}
+		if p.wake > k.now {
+			k.now = p.wake
+		}
+		p.resume <- true
+		q := <-k.yielded
+		switch q.state {
+		case procDone:
+			k.live--
+		case procWaiting:
+			k.waiting++
+		}
+	}
+	k.stopped = false
+	k.Shutdown()
+	return nil
+}
+
+// Shutdown aborts every live process, unwinding its goroutine. The kernel
+// must not be running. After Shutdown the kernel can still Spawn and Run new
+// processes, though typically a fresh kernel is created instead.
+func (k *Kernel) Shutdown() {
+	for {
+		p := k.heap.pop()
+		if p == nil {
+			break
+		}
+		k.abort(p)
+	}
+	for _, ev := range k.events {
+		for _, p := range ev.waiters {
+			k.waiting--
+			k.abort(p)
+		}
+		ev.waiters = nil
+	}
+}
+
+func (k *Kernel) abort(p *Proc) {
+	if p.state == procDone {
+		return
+	}
+	p.resume <- false
+	<-k.yielded
+	k.live--
+}
+
+// Event is a broadcast wakeup primitive. Processes block on it with
+// Proc.Wait; Signal wakes every current waiter at the current virtual time.
+type Event struct {
+	k       *Kernel
+	name    string
+	waiters []*Proc
+}
+
+// NewEvent creates an event attached to the kernel.
+func (k *Kernel) NewEvent(name string) *Event {
+	ev := &Event{k: k, name: name}
+	k.events = append(k.events, ev)
+	return ev
+}
+
+// Signal wakes all processes currently waiting on the event. They resume at
+// the current virtual time, in the order they began waiting. Safe to call
+// when there are no waiters.
+func (ev *Event) Signal() {
+	for _, p := range ev.waiters {
+		p.wake = ev.k.now
+		p.state = procRunnable
+		ev.k.waiting--
+		ev.k.push(p)
+	}
+	ev.waiters = ev.waiters[:0]
+}
+
+// Waiters returns the number of processes blocked on the event.
+func (ev *Event) Waiters() int { return len(ev.waiters) }

@@ -1,0 +1,44 @@
+package sim
+
+// Resource models a facility that serves one request at a time with
+// busy-until semantics: a request arriving while the resource is busy queues
+// (in virtual time) until the in-progress holds complete. It is the building
+// block for links, DMA engines, and device pipelines.
+type Resource struct {
+	busyUntil Time
+	busyTotal Time // accumulated occupied time, for utilization accounting
+}
+
+// Acquire reserves the resource for hold starting no earlier than now.
+// It returns the queueing delay the caller experiences before its hold
+// begins. The caller is expected to advance its own clock by delay+hold
+// (or just delay, for posted operations that do not wait for completion).
+func (r *Resource) Acquire(now, hold Time) (delay Time) {
+	if hold < 0 {
+		hold = 0
+	}
+	start := now
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	r.busyUntil = start + hold
+	r.busyTotal += hold
+	return start - now
+}
+
+// BusyUntil returns the virtual time at which the resource becomes free.
+func (r *Resource) BusyUntil() Time { return r.busyUntil }
+
+// BusyTotal returns the total time the resource has been occupied.
+func (r *Resource) BusyTotal() Time { return r.busyTotal }
+
+// Reset clears accounting and frees the resource immediately.
+func (r *Resource) Reset() { r.busyUntil, r.busyTotal = 0, 0 }
+
+// Backlog returns how far the resource is booked past now (zero if free).
+func (r *Resource) Backlog(now Time) Time {
+	if r.busyUntil <= now {
+		return 0
+	}
+	return r.busyUntil - now
+}

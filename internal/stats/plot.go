@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders one or more series as an ASCII scatter chart — enough to see
+// each figure's shape (saturation knees, crossovers, hockey sticks) straight
+// from the ccbench output. Each series is drawn with its own glyph.
+//
+// Axes are linear, sized width x height characters, with labeled extents.
+func Plot(title string, width, height int, series ...*Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	var pts int
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			pts++
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if pts == 0 {
+		return title + ": (no data)\n"
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			cx := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			cy := int(math.Round((p.Y - minY) / (maxY - minY) * float64(height-1)))
+			row := height - 1 - cy
+			if grid[row][cx] != ' ' && grid[row][cx] != g {
+				grid[row][cx] = '?' // overlapping series
+			} else {
+				grid[row][cx] = g
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	yLab := func(v float64) string { return trimFloat(v) }
+	top := yLab(maxY)
+	bot := yLab(minY)
+	labW := len(top)
+	if len(bot) > labW {
+		labW = len(bot)
+	}
+	for i, row := range grid {
+		lab := strings.Repeat(" ", labW)
+		if i == 0 {
+			lab = pad(top, labW)
+		}
+		if i == height-1 {
+			lab = pad(bot, labW)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", lab, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", labW), strings.Repeat("-", width))
+	xAxis := fmt.Sprintf("%s .. %s", trimFloat(minX), trimFloat(maxX))
+	if len(series) > 0 && series[0].XLabel != "" {
+		xAxis += "  (" + series[0].XLabel + ")"
+	}
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", labW), xAxis)
+	for si, s := range series {
+		fmt.Fprintf(&b, "%s   %c %s\n", strings.Repeat(" ", labW), glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}

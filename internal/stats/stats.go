@@ -1,0 +1,348 @@
+// Package stats provides the measurement primitives used by the benchmark
+// harness: log-bucketed latency histograms with percentile queries, running
+// scalar summaries, and small helpers for formatting result tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ccnic/internal/sim"
+)
+
+// Histogram is a log-linear histogram of sim.Time samples, in the spirit of
+// HDR histograms: values are bucketed with bounded relative error (~3%),
+// which is ample for latency percentiles while using constant memory.
+type Histogram struct {
+	count   int64
+	sum     sim.Time
+	min     sim.Time
+	max     sim.Time
+	buckets [nBuckets]int64
+}
+
+const (
+	// subBits sub-buckets per power of two: 2^5 = 32 gives ~3% resolution.
+	subBits  = 5
+	nSub     = 1 << subBits
+	nBuckets = 64 * nSub
+)
+
+// bucketOf maps a value (in picoseconds) to its bucket index.
+func bucketOf(v sim.Time) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < nSub {
+		return int(u)
+	}
+	exp := 63 - leadingZeros(u)
+	shift := exp - subBits
+	sub := int((u >> uint(shift)) & (nSub - 1))
+	return (exp-subBits+1)*nSub + sub
+}
+
+// bucketLow returns the lowest value mapping to bucket i (its representative).
+func bucketLow(i int) sim.Time {
+	if i < nSub {
+		return sim.Time(i)
+	}
+	block := i/nSub - 1
+	sub := i % nSub
+	return sim.Time((uint64(nSub) + uint64(sub)) << uint(block+1) >> 1)
+}
+
+func leadingZeros(u uint64) int {
+	n := 0
+	if u == 0 {
+		return 64
+	}
+	for u&(1<<63) == 0 {
+		u <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v sim.Time) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Min returns the smallest recorded sample (0 if empty).
+func (h *Histogram) Min() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 if empty).
+func (h *Histogram) Max() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean of the samples (0 if empty).
+func (h *Histogram) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.count)
+}
+
+// Percentile returns the value at quantile q in [0,1], e.g. 0.5 for the
+// median. The result is the representative value of the containing bucket,
+// clamped to the observed min/max so exact-valued distributions round-trip.
+func (h *Histogram) Percentile(q float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			v := bucketLow(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Median is shorthand for Percentile(0.5).
+func (h *Histogram) Median() sim.Time { return h.Percentile(0.5) }
+
+// Reset clears all samples.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+}
+
+// Summary holds a running scalar summary (for throughput series etc.).
+type Summary struct {
+	n    int64
+	sum  float64
+	min  float64
+	max  float64
+	sumS float64 // sum of squares for variance
+}
+
+// Add records a value.
+func (s *Summary) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumS += v * v
+}
+
+// N returns the number of values recorded.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the mean of recorded values (0 if empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the minimum recorded value (0 if empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the maximum recorded value (0 if empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// StdDev returns the population standard deviation (0 if fewer than two).
+func (s *Summary) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumS/float64(s.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Point is one (x, y) sample of a result series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of points — one plotted line of a paper figure.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// MaxY returns the largest Y value in the series (0 if empty).
+func (s *Series) MaxY() float64 {
+	m := 0.0
+	for _, p := range s.Points {
+		if p.Y > m {
+			m = p.Y
+		}
+	}
+	return m
+}
+
+// YAt returns the Y value at the given X, or false if absent.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Table is a simple named-rows result table — one paper table or bar chart.
+type Table struct {
+	Name    string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Format renders the table with aligned columns.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := ""
+	if t.Name != "" {
+		out += "# " + t.Name + "\n"
+	}
+	line := func(cells []string) string {
+		s := ""
+		for i, c := range cells {
+			if i > 0 {
+				s += "  "
+			}
+			s += pad(c, widths[i])
+		}
+		return s + "\n"
+	}
+	out += line(t.Columns)
+	for _, r := range t.Rows {
+		out += line(r)
+	}
+	return out
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+// FormatSeries renders one or more series as aligned columns sharing X.
+func FormatSeries(name string, series ...*Series) string {
+	if len(series) == 0 {
+		return ""
+	}
+	// Collect union of X values in order of first appearance, then sorted.
+	xsSet := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !xsSet[p.X] {
+				xsSet[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	t := Table{Name: name, Columns: []string{series[0].XLabel}}
+	for _, s := range series {
+		t.Columns = append(t.Columns, s.Name)
+	}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range series {
+			if y, ok := s.YAt(x); ok {
+				row = append(row, trimFloat(y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.Format()
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}

@@ -1,0 +1,183 @@
+// Package trace records per-packet lifecycle timestamps (born, submitted,
+// fetched by the NIC, delivered, received) and summarizes where time is
+// spent. It is the observability layer for debugging interface models:
+// stage breakdowns immediately show whether latency lives in signaling,
+// payload movement, device pipelines, or host polling.
+//
+// Tracing is sampling-based and allocation-light so it can stay enabled in
+// long runs; a nil *Tracer is a valid no-op receiver, so call sites need no
+// guards.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ccnic/internal/sim"
+	"ccnic/internal/stats"
+)
+
+// Stage identifies a point in a packet's life.
+type Stage int
+
+// Lifecycle stages in order.
+const (
+	Born Stage = iota // payload written, timestamped
+	Submitted
+	Fetched // consumed by the NIC/device
+	Delivered
+	Received
+	numStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case Born:
+		return "born"
+	case Submitted:
+		return "submitted"
+	case Fetched:
+		return "fetched"
+	case Delivered:
+		return "delivered"
+	case Received:
+		return "received"
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
+}
+
+// record is one sampled packet's timestamps.
+type record struct {
+	seq int64
+	at  [numStages]sim.Time
+	set [numStages]bool
+}
+
+// Tracer samples every nth packet per queue. A nil Tracer is a no-op.
+type Tracer struct {
+	every   int64
+	records map[int64]*record
+	order   []int64
+	maxKeep int
+}
+
+// New creates a tracer sampling one in every packets, keeping at most keep
+// complete records (oldest evicted).
+func New(every int, keep int) *Tracer {
+	if every <= 0 {
+		every = 1
+	}
+	if keep <= 0 {
+		keep = 4096
+	}
+	return &Tracer{
+		every:   int64(every),
+		records: make(map[int64]*record),
+		maxKeep: keep,
+	}
+}
+
+// Mark records that packet seq reached stage at the given time. Unsampled
+// packets and nil tracers are ignored.
+func (t *Tracer) Mark(seq int64, st Stage, at sim.Time) {
+	if t == nil || seq%t.every != 0 {
+		return
+	}
+	r := t.records[seq]
+	if r == nil {
+		if len(t.order) >= t.maxKeep {
+			oldest := t.order[0]
+			t.order = t.order[1:]
+			delete(t.records, oldest)
+		}
+		r = &record{seq: seq}
+		t.records[seq] = r
+		t.order = append(t.order, seq)
+	}
+	if !r.set[st] {
+		r.at[st] = at
+		r.set[st] = true
+	}
+}
+
+// Sampled returns the number of packets with at least one mark.
+func (t *Tracer) Sampled() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.records)
+}
+
+// StageGap summarizes the time between two stages across sampled packets.
+func (t *Tracer) StageGap(from, to Stage) *stats.Histogram {
+	var h stats.Histogram
+	if t == nil {
+		return &h
+	}
+	for _, r := range t.records {
+		if r.set[from] && r.set[to] && r.at[to] >= r.at[from] {
+			h.Record(r.at[to] - r.at[from])
+		}
+	}
+	return &h
+}
+
+// Report renders a stage-by-stage latency breakdown.
+func (t *Tracer) Report() string {
+	if t == nil || len(t.records) == 0 {
+		return "trace: no samples\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "packet lifecycle (%d sampled):\n", len(t.records))
+	pairs := []struct{ from, to Stage }{
+		{Born, Submitted},
+		{Submitted, Fetched},
+		{Fetched, Delivered},
+		{Delivered, Received},
+		{Born, Received},
+	}
+	for _, p := range pairs {
+		h := t.StageGap(p.from, p.to)
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-22s median %10v  p99 %10v  (n=%d)\n",
+			fmt.Sprintf("%v -> %v:", p.from, p.to),
+			h.Median(), h.Percentile(0.99), h.Count())
+	}
+	return b.String()
+}
+
+// Slowest returns the seq numbers of the n packets with the largest
+// born-to-received time, most recent first among ties — the packets worth
+// inspecting when a tail appears.
+func (t *Tracer) Slowest(n int) []int64 {
+	if t == nil {
+		return nil
+	}
+	type tot struct {
+		seq int64
+		d   sim.Time
+	}
+	var all []tot
+	for _, r := range t.records {
+		if r.set[Born] && r.set[Received] {
+			all = append(all, tot{r.seq, r.at[Received] - r.at[Born]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d > all[j].d
+		}
+		return all[i].seq > all[j].seq
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].seq
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ccnic/internal/sim"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Mark(1, Born, 0) // must not panic
+	if tr.Sampled() != 0 {
+		t.Error("nil tracer sampled > 0")
+	}
+	if tr.StageGap(Born, Received).Count() != 0 {
+		t.Error("nil tracer has gaps")
+	}
+	if tr.Slowest(3) != nil {
+		t.Error("nil tracer has slowest")
+	}
+	if !strings.Contains(tr.Report(), "no samples") {
+		t.Error("nil tracer report wrong")
+	}
+}
+
+func TestSamplingAndGaps(t *testing.T) {
+	tr := New(2, 100) // every 2nd packet
+	for seq := int64(0); seq < 10; seq++ {
+		tr.Mark(seq, Born, sim.Time(seq*1000))
+		tr.Mark(seq, Submitted, sim.Time(seq*1000+100))
+		tr.Mark(seq, Received, sim.Time(seq*1000+500))
+	}
+	if tr.Sampled() != 5 {
+		t.Fatalf("sampled %d, want 5 (every 2nd)", tr.Sampled())
+	}
+	g := tr.StageGap(Born, Submitted)
+	if g.Count() != 5 || g.Median() != 100 {
+		t.Errorf("born->submitted: n=%d median=%v", g.Count(), g.Median())
+	}
+	total := tr.StageGap(Born, Received)
+	if total.Median() != 500 {
+		t.Errorf("total median = %v", total.Median())
+	}
+	// Duplicate marks keep the first timestamp.
+	tr.Mark(0, Born, 999999)
+	if got := tr.StageGap(Born, Submitted).Max(); got != 100 {
+		t.Errorf("duplicate mark overwrote: max gap %v", got)
+	}
+}
+
+func TestEviction(t *testing.T) {
+	tr := New(1, 3)
+	for seq := int64(1); seq <= 5; seq++ {
+		tr.Mark(seq, Born, sim.Time(seq))
+	}
+	if tr.Sampled() != 3 {
+		t.Fatalf("kept %d records, want 3", tr.Sampled())
+	}
+	// Oldest (1, 2) evicted: marking them again recreates fresh records.
+	tr.Mark(1, Received, 100)
+	if tr.StageGap(Born, Received).Count() != 0 {
+		t.Error("evicted record resurrected with stale data")
+	}
+}
+
+func TestSlowest(t *testing.T) {
+	tr := New(1, 100)
+	durations := map[int64]sim.Time{1: 500, 2: 900, 3: 100, 4: 700}
+	for seq, d := range durations {
+		tr.Mark(seq, Born, 0)
+		tr.Mark(seq, Received, d)
+	}
+	got := tr.Slowest(2)
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("slowest = %v, want [2 4]", got)
+	}
+	if len(tr.Slowest(10)) != 4 {
+		t.Error("slowest(10) should return all 4")
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	tr := New(1, 10)
+	tr.Mark(1, Born, 0)
+	tr.Mark(1, Submitted, 50)
+	tr.Mark(1, Fetched, 250)
+	tr.Mark(1, Delivered, 400)
+	tr.Mark(1, Received, 600)
+	out := tr.Report()
+	for _, frag := range []string{"1 sampled", "born -> submitted", "delivered -> received", "born -> received"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	names := []string{"born", "submitted", "fetched", "delivered", "received"}
+	for i, want := range names {
+		if got := Stage(i).String(); got != want {
+			t.Errorf("Stage(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if !strings.Contains(Stage(99).String(), "99") {
+		t.Error("unknown stage string")
+	}
+}

@@ -1,0 +1,150 @@
+// Package traffic generates the application workloads of §5.7: key
+// popularity (Zipf), object-size distributions modeled on the CliqueMap
+// production traces the paper uses (Ads: dominated by sub-100B objects;
+// Geo: skewed toward larger objects), and deterministic seeded randomness.
+package traffic
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf draws keys in [0, n) with Zipfian popularity (coefficient s),
+// deterministic under a fixed seed. The paper uses s = 0.75 over 1M keys.
+type Zipf struct {
+	rng *rand.Rand
+	// Inverse-CDF sampling over a harmonic table would cost O(n) memory
+	// for 1M keys; instead use the standard approximation by rejection
+	// (Gries/Jacobson), which matches rand.Zipf's method but supports
+	// s < 1 via the generalized harmonic inversion.
+	n float64
+	s float64
+	// precomputed constants
+	hn  float64 // generalized harmonic H_{n,s}
+	inv float64
+}
+
+// NewZipf creates a Zipf sampler over n keys with exponent s in (0, 1).
+func NewZipf(seed int64, n int, s float64) *Zipf {
+	if n <= 0 || s <= 0 || s >= 1 {
+		panic("traffic: Zipf requires n > 0 and 0 < s < 1")
+	}
+	z := &Zipf{rng: rand.New(rand.NewSource(seed)), n: float64(n), s: s}
+	z.hn = harmonicApprox(z.n, s)
+	z.inv = 1 - s
+	return z
+}
+
+// harmonicApprox approximates the generalized harmonic number H_{n,s} for
+// s != 1 via the integral form.
+func harmonicApprox(n, s float64) float64 {
+	return (math.Pow(n, 1-s) - 1) / (1 - s)
+}
+
+// Next returns the next key, in [0, n).
+func (z *Zipf) Next() int {
+	// Inverse transform on the continuous approximation of the CDF:
+	// F(x) = H_{x,s}/H_{n,s}; exact enough for workload modeling and
+	// fully deterministic.
+	u := z.rng.Float64()
+	x := math.Pow(u*z.hn*(1-z.s)+1, 1/(1-z.s))
+	k := int(x) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= int(z.n) {
+		k = int(z.n) - 1
+	}
+	return k
+}
+
+// SizeDist is a discrete object-size distribution sampled by inverse CDF.
+type SizeDist struct {
+	rng   *rand.Rand
+	cum   []float64
+	sizes []int
+	name  string
+}
+
+// bucket is one (cumulative probability, size) step of a size CDF.
+type bucket struct {
+	p    float64
+	size int
+}
+
+func newSizeDist(name string, seed int64, buckets []bucket) *SizeDist {
+	d := &SizeDist{rng: rand.New(rand.NewSource(seed)), name: name}
+	for _, b := range buckets {
+		d.cum = append(d.cum, b.p)
+		d.sizes = append(d.sizes, b.size)
+	}
+	return d
+}
+
+// Name returns the distribution name.
+func (d *SizeDist) Name() string { return d.name }
+
+// Next returns the next object size in bytes.
+func (d *SizeDist) Next() int {
+	u := d.rng.Float64()
+	for i, c := range d.cum {
+		if u <= c {
+			return d.sizes[i]
+		}
+	}
+	return d.sizes[len(d.sizes)-1]
+}
+
+// Quantile returns the size at cumulative probability u in [0,1].
+func (d *SizeDist) Quantile(u float64) int {
+	for i, c := range d.cum {
+		if u <= c {
+			return d.sizes[i]
+		}
+	}
+	return d.sizes[len(d.sizes)-1]
+}
+
+// Mean returns the distribution's expected size.
+func (d *SizeDist) Mean() float64 {
+	m, prev := 0.0, 0.0
+	for i, c := range d.cum {
+		m += (c - prev) * float64(d.sizes[i])
+		prev = c
+	}
+	return m
+}
+
+// Ads returns the paper's Ads object-size distribution: small-object heavy
+// (61% of objects under 100B), truncated at the 9600B MTU as in §5.7.
+func Ads(seed int64) *SizeDist {
+	return newSizeDist("ads", seed, []bucket{
+		{0.25, 16},
+		{0.45, 48},
+		{0.61, 90}, // 61% below 100B, per the paper
+		{0.75, 200},
+		{0.86, 512},
+		{0.93, 1400},
+		{0.975, 4000},
+		{1.00, 9600},
+	})
+}
+
+// Geo returns the paper's Geo distribution: skewed toward larger objects
+// (only 13% under 100B).
+func Geo(seed int64) *SizeDist {
+	return newSizeDist("geo", seed, []bucket{
+		{0.06, 32},
+		{0.13, 90}, // 13% below 100B, per the paper
+		{0.35, 256},
+		{0.60, 700},
+		{0.80, 1800},
+		{0.92, 4200},
+		{1.00, 9600},
+	})
+}
+
+// FixedSize returns a degenerate distribution (for fixed-size sweeps).
+func FixedSize(size int) *SizeDist {
+	return newSizeDist("fixed", 1, []bucket{{1.0, size}})
+}

@@ -1,0 +1,145 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(42, 1_000_000, 0.75)
+	b := NewZipf(42, 1_000_000, 0.75)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	z := NewZipf(7, 1_000_000, 0.75)
+	const n = 200000
+	counts := map[int]int{}
+	maxKey := 0
+	for i := 0; i < n; i++ {
+		k := z.Next()
+		if k < 0 || k >= 1_000_000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		if k > maxKey {
+			maxKey = k
+		}
+		if k < 100 {
+			counts[k]++
+		}
+	}
+	// Zipf 0.75 over 1M keys: the head must be hot (key 0 far above
+	// uniform 0.2 expected hits) and the tail reachable.
+	if counts[0] < 100 {
+		t.Errorf("key 0 drawn %d times; expected a hot head", counts[0])
+	}
+	if maxKey < 500_000 {
+		t.Errorf("max key %d; tail not reachable", maxKey)
+	}
+	// Monotone-ish decay: key 0 more popular than key 50.
+	if counts[0] <= counts[50] {
+		t.Errorf("no rank decay: c0=%d c50=%d", counts[0], counts[50])
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(1, 0, 0.75) },
+		func() { NewZipf(1, 10, 0) },
+		func() { NewZipf(1, 10, 1.0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHarmonicApprox(t *testing.T) {
+	// Against the exact sum for moderate n.
+	n, s := 1000.0, 0.75
+	exact := 0.0
+	for i := 1; i <= 1000; i++ {
+		exact += 1 / math.Pow(float64(i), s)
+	}
+	approx := harmonicApprox(n, s)
+	if math.Abs(approx-exact)/exact > 0.15 {
+		t.Errorf("harmonic approx %.2f vs exact %.2f", approx, exact)
+	}
+}
+
+func TestSizeDistributions(t *testing.T) {
+	const n = 100000
+	small := func(d *SizeDist) float64 {
+		c := 0
+		for i := 0; i < n; i++ {
+			if d.Next() < 100 {
+				c++
+			}
+		}
+		return float64(c) / n
+	}
+	// The paper: Ads 61% < 100B, Geo 13% < 100B.
+	if f := small(Ads(1)); math.Abs(f-0.61) > 0.02 {
+		t.Errorf("Ads small fraction = %.3f, want ~0.61", f)
+	}
+	if f := small(Geo(1)); math.Abs(f-0.13) > 0.02 {
+		t.Errorf("Geo small fraction = %.3f, want ~0.13", f)
+	}
+	// Geo must skew larger than Ads.
+	if Ads(1).Mean() >= Geo(1).Mean() {
+		t.Errorf("Ads mean %.0f should be below Geo mean %.0f", Ads(1).Mean(), Geo(1).Mean())
+	}
+	// MTU truncation.
+	d := Ads(2)
+	for i := 0; i < n; i++ {
+		if s := d.Next(); s > 9600 {
+			t.Fatalf("size %d exceeds MTU", s)
+		}
+	}
+}
+
+func TestFixedSize(t *testing.T) {
+	d := FixedSize(64)
+	for i := 0; i < 10; i++ {
+		if d.Next() != 64 {
+			t.Fatal("FixedSize not fixed")
+		}
+	}
+	if d.Mean() != 64 {
+		t.Errorf("mean = %v", d.Mean())
+	}
+	if d.Name() != "fixed" {
+		t.Errorf("name = %q", d.Name())
+	}
+}
+
+func TestQuantileMatchesCDF(t *testing.T) {
+	d := Ads(1)
+	if d.Quantile(0) != 16 {
+		t.Errorf("Quantile(0) = %d", d.Quantile(0))
+	}
+	if d.Quantile(0.61) != 90 {
+		t.Errorf("Quantile(0.61) = %d, want 90", d.Quantile(0.61))
+	}
+	if d.Quantile(1.0) != 9600 {
+		t.Errorf("Quantile(1.0) = %d, want 9600", d.Quantile(1.0))
+	}
+	// Quantile is monotone.
+	prev := 0
+	for u := 0.0; u <= 1.0; u += 0.05 {
+		v := d.Quantile(u)
+		if v < prev {
+			t.Fatalf("quantile not monotone at %.2f", u)
+		}
+		prev = v
+	}
+}
