@@ -1,0 +1,29 @@
+# Developer/CI entry points for the CC-NIC reproduction.
+#
+#   make check        tier-1 verify + vet + race (sim) + benchmark smoke
+#   make verify       tier-1: go build ./... && go test ./...
+#   make race         race detector over the one package with real goroutines
+#   make bench-smoke  one-iteration pass over the kernel + headline benches
+#   make bench-json   regenerate the host-perf trajectory file (minutes)
+
+GO ?= go
+
+.PHONY: check verify vet race bench-smoke bench-json
+
+check: verify vet race bench-smoke
+
+verify:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -count=1 ./internal/sim/
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Kernel|LoopbackCCNIC' -benchtime 1x .
+
+bench-json:
+	$(GO) run ./cmd/ccbench -all -json BENCH_PR1.json

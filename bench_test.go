@@ -66,7 +66,8 @@ func BenchmarkLoopbackCCNIC(b *testing.B) {
 }
 
 // BenchmarkKernel measures the raw event throughput of the simulation
-// kernel itself (host-side cost of the whole suite).
+// kernel itself (host-side cost of the whole suite). A single sleeping
+// process exercises the run-next fast path: no heap or channel operations.
 func BenchmarkKernel(b *testing.B) {
 	k := sim.New()
 	k.Spawn("spin", func(p *sim.Proc) {
@@ -74,6 +75,49 @@ func BenchmarkKernel(b *testing.B) {
 			p.Sleep(sim.Nanosecond)
 		}
 	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkKernelPingPong measures the cross-process switch cost: two
+// processes alternating via Sleep so every event is a real goroutine
+// handoff (the slow path's single rendezvous).
+func BenchmarkKernelPingPong(b *testing.B) {
+	k := sim.New()
+	for pp := 0; pp < 2; pp++ {
+		k.Spawn("pingpong", func(p *sim.Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Sleep(sim.Nanosecond)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkKernelWaitSignal measures the event wait/signal path: a waiter
+// parked on an Event woken once per signaler iteration.
+func BenchmarkKernelWaitSignal(b *testing.B) {
+	k := sim.New()
+	ev := k.NewEvent("tick")
+	k.Spawn("waiter", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(ev)
+		}
+	})
+	k.Spawn("signaler", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(sim.Nanosecond)
+			ev.Signal()
+		}
+	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := k.Run(); err != nil {
 		b.Fatal(err)

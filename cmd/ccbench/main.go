@@ -3,27 +3,56 @@
 //
 // Usage:
 //
-//	ccbench -list           list available experiments
-//	ccbench fig11 fig17     run specific experiments
-//	ccbench -all            run everything (minutes)
-//	ccbench -quick fig12    run with reduced core counts and sweep points
+//	ccbench -list             list available experiments
+//	ccbench fig11 fig17       run specific experiments
+//	ccbench -all              run everything (minutes)
+//	ccbench -quick fig12      run with reduced core counts and sweep points
+//	ccbench -json out.json -all
+//	                          also write per-experiment host-perf records
+//	                          (wall-clock, simulated events/sec, allocs)
+//	ccbench -cpuprofile cpu.pprof -memprofile mem.pprof fig13
+//	                          capture pprof profiles of the host hot path
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ccnic/internal/experiments"
 )
 
+// benchFile is the schema of the -json output: one record per experiment
+// plus a suite total, forming one point of the repo's perf trajectory
+// (BENCH_PR1.json, BENCH_PR2.json, ...).
+type benchFile struct {
+	Schema      string               `json:"schema"`
+	GoVersion   string               `json:"go_version"`
+	NumCPU      int                  `json:"num_cpu"`
+	Quick       bool                 `json:"quick"`
+	Experiments []benchRecord        `json:"experiments"`
+	Total       experiments.HostCost `json:"total"`
+}
+
+type benchRecord struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	experiments.HostCost
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "reduced scale: fewer cores, points, and shorter windows")
+	jsonPath := flag.String("json", "", "write per-experiment host-perf records to `file`")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to `file`")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ccbench [-quick] [-all | -list | <id>...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: ccbench [-quick] [-json file] [-all | -list | <id>...]\n\n")
 		fmt.Fprintf(os.Stderr, "Regenerates the CC-NIC paper's evaluation tables and figures.\n\n")
 		flag.PrintDefaults()
 	}
@@ -49,16 +78,85 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := experiments.Options{Quick: *quick}
+	// Resolve every ID and open every output file before running anything:
+	// -all takes minutes, and a typo'd ID or unwritable path should not cost
+	// the whole run.
+	exps := make([]*experiments.Experiment, 0, len(ids))
 	for _, id := range ids {
 		e := experiments.ByID(id)
 		if e == nil {
-			fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q (try -list)\n", id)
-			os.Exit(1)
+			fatalf("ccbench: unknown experiment %q (try -list)", id)
 		}
-		start := time.Now()
-		report := e.Run(opt)
-		fmt.Println(report.Format())
-		fmt.Printf("paper: %s\n[%s completed in %s]\n\n", e.Paper, e.ID, time.Since(start).Round(time.Millisecond))
+		exps = append(exps, e)
 	}
+	var jsonFile *os.File
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatalf("ccbench: %v", err)
+		}
+		jsonFile = f
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("ccbench: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("ccbench: start cpu profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	out := benchFile{
+		Schema:    "ccnic-bench/v1",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Quick:     *quick,
+	}
+	opt := experiments.Options{Quick: *quick}
+	for _, e := range exps {
+		report, cost := experiments.Measure(e, opt)
+		fmt.Println(report.Format())
+		fmt.Printf("paper: %s\n[%s completed in %s | %.2fM sim events, %.2fM events/s, %.2f allocs/event]\n\n",
+			e.Paper, e.ID, time.Duration(cost.WallSeconds*float64(time.Second)).Round(time.Millisecond),
+			float64(cost.SimEvents)/1e6, cost.EventsPerSec/1e6, cost.AllocsPerEvt)
+		out.Experiments = append(out.Experiments, benchRecord{ID: e.ID, Title: e.Title, HostCost: cost})
+		out.Total.Add(cost)
+	}
+
+	if jsonFile != nil {
+		buf, err := json.MarshalIndent(&out, "", "  ")
+		if err != nil {
+			fatalf("ccbench: marshal: %v", err)
+		}
+		buf = append(buf, '\n')
+		if _, err := jsonFile.Write(buf); err != nil {
+			fatalf("ccbench: %v", err)
+		}
+		if err := jsonFile.Close(); err != nil {
+			fatalf("ccbench: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ccbench: wrote %s (%d experiments, %.2fM events/s overall)\n",
+			*jsonPath, len(out.Experiments), out.Total.EventsPerSec/1e6)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("ccbench: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("ccbench: write heap profile: %v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
 }

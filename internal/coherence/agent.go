@@ -15,6 +15,9 @@ type Agent struct {
 	name   string
 	l2     *Cache
 
+	// Per-line streaming costs, precomputed from platform bandwidths.
+	coreLineCost, remoteLineCost sim.Time
+
 	// Stride detectors for the hardware prefetcher (one for loads, one
 	// for stores, mirroring the DCU IP prefetcher's PC-correlated
 	// streams at the granularity we model).
@@ -146,18 +149,19 @@ func (s *System) accessLine(a *Agent, line mem.Addr, write, quiet, fullLine bool
 			// RFO with migratory dirty forwarding (or ItoM above).
 			owner.drop(line)
 			d.owner = a.l2
-			a.l2.insert(line, Modified)
+			a.l2.insertMiss(line, Modified)
 		case quiet:
 			// Prefetch read: demote the owner to Shared (writing
 			// the dirty data back to home) and fill Shared.
-			owner.drop(line)
 			d.owner = nil
-			if !owner.isLLC {
+			if owner.isLLC {
+				owner.drop(line)
+			} else {
+				owner.touch(line, Shared)
 				d.sharers = append(d.sharers, owner)
-				owner.insert(line, Shared)
 			}
 			d.sharers = append(d.sharers, a.l2)
-			a.l2.insert(line, Shared)
+			a.l2.insertMiss(line, Shared)
 			if home != owner.socket {
 				s.counters[owner.socket].Writebacks++
 			}
@@ -186,14 +190,14 @@ func (s *System) accessLine(a *Agent, line mem.Addr, write, quiet, fullLine bool
 			}
 			d.sharers = d.sharers[:0]
 			d.owner = a.l2
-			a.l2.insert(line, Modified)
+			a.l2.insertMiss(line, Modified)
 		} else if quiet {
 			if src == s.llc[a.socket] {
 				src.drop(line)
 				d.removeSharer(src)
 			}
 			d.sharers = append(d.sharers, a.l2)
-			a.l2.insert(line, Shared)
+			a.l2.insertMiss(line, Shared)
 		}
 	default: // memory
 		switch {
@@ -220,10 +224,10 @@ func (s *System) accessLine(a *Agent, line mem.Addr, write, quiet, fullLine bool
 		}
 		if write {
 			d.owner = a.l2
-			a.l2.insert(line, Modified)
+			a.l2.insertMiss(line, Modified)
 		} else if quiet {
 			d.sharers = append(d.sharers, a.l2)
-			a.l2.insert(line, Shared)
+			a.l2.insertMiss(line, Shared)
 		}
 	}
 
@@ -260,7 +264,7 @@ func (s *System) commitRead(a *Agent, line mem.Addr) {
 		// Migratory dirty forwarding: ownership moves to the reader.
 		d.owner.drop(line)
 		d.owner = a.l2
-		a.l2.insert(line, Modified)
+		a.l2.insertMiss(line, Modified)
 	case len(d.sharers) > 0:
 		if llc := s.llc[a.socket]; d.holds(llc) {
 			// Victim-cache semantics: the line moves up.
@@ -268,10 +272,10 @@ func (s *System) commitRead(a *Agent, line mem.Addr) {
 			d.removeSharer(llc)
 		}
 		d.sharers = append(d.sharers, a.l2)
-		a.l2.insert(line, Shared)
+		a.l2.insertMiss(line, Shared)
 	default:
 		d.sharers = append(d.sharers, a.l2)
-		a.l2.insert(line, Shared)
+		a.l2.insertMiss(line, Shared)
 	}
 }
 
@@ -501,13 +505,14 @@ func (a *Agent) gather(p *sim.Proc, lines []mem.Addr, write bool) sim.Time {
 
 // bwCost is the amortized per-line cost of an overlapped access: remote
 // streaming bandwidth when a line of data crossed the interconnect, local
-// store/copy bandwidth otherwise.
+// store/copy bandwidth otherwise. The costs are precomputed at agent
+// creation — bwCost runs once per streamed line, and the cached integer
+// result is bit-identical to recomputing the division.
 func (a *Agent) bwCost(dataCrossed bool) sim.Time {
-	bw := a.sys.plat.CoreStreamBW
 	if dataCrossed {
-		bw = a.sys.plat.RemoteStreamBW
+		return a.remoteLineCost
 	}
-	return sim.Time(float64(mem.LineSize) / bw * float64(sim.Nanosecond))
+	return a.coreLineCost
 }
 
 // WriteNT performs nontemporal (cache-bypassing) stores to
@@ -523,7 +528,7 @@ func (a *Agent) WriteNT(p *sim.Proc, addr mem.Addr, size int) sim.Time {
 		now := s.k.Now()
 		s.dropEverywhere(line, a.socket)
 		home := mem.Home(line)
-		perLine := sim.Time(float64(mem.LineSize) / s.plat.PCIe.NTStoreBW * float64(sim.Nanosecond))
+		perLine := s.ntLineCost
 		if home != a.socket {
 			q := s.link.Weighted(now, interconn.DirFromTo(a.socket, home),
 				mem.LineSize, s.plat.NTWritePenalty)

@@ -70,6 +70,9 @@ type Cache struct {
 	lines  map[mem.Addr]*entry
 	// LRU list: head.next is most-recent, head.prev is least-recent.
 	head entry
+	// free recycles evicted entries (singly linked via next), so a cache
+	// that has reached steady state allocates nothing per insert/evict.
+	free *entry
 	sys  *System
 }
 
@@ -109,22 +112,49 @@ func (c *Cache) get(line mem.Addr) *entry {
 // peek returns the entry without touching recency.
 func (c *Cache) peek(line mem.Addr) *entry { return c.lines[line] }
 
-// insert adds a line in the given state, evicting the LRU line if full.
-// The caller must have updated the directory for the inserted line; insert
-// handles directory maintenance for the victim only.
-func (c *Cache) insert(line mem.Addr, st State) {
-	if e := c.lines[line]; e != nil {
-		e.state = st
-		c.unlink(e)
-		c.pushFront(e)
-		return
-	}
+// insertMiss adds a line in the given state, evicting the LRU line if full.
+// The caller must have just observed the line to be absent (via get or peek
+// returning nil) and must have updated the directory for the inserted line;
+// insertMiss handles directory maintenance for the victim only. Residency
+// changes to an already-present line go through touch instead.
+func (c *Cache) insertMiss(line mem.Addr, st State) {
 	for len(c.lines) >= c.capAct {
 		c.evictLRU()
 	}
-	e := &entry{line: line, state: st}
+	e := c.alloc()
+	e.line, e.state = line, st
 	c.lines[line] = e
 	c.pushFront(e)
+}
+
+// touch updates a resident line's state in place and refreshes its recency,
+// reporting whether the line was resident. It replaces drop+insert pairs,
+// which cost three map operations and an entry recycle.
+func (c *Cache) touch(line mem.Addr, st State) bool {
+	e := c.get(line)
+	if e == nil {
+		return false
+	}
+	e.state = st
+	return true
+}
+
+// alloc takes an entry from the freelist or allocates a fresh one.
+func (c *Cache) alloc() *entry {
+	e := c.free
+	if e == nil {
+		return &entry{}
+	}
+	c.free = e.next
+	e.next = nil
+	return e
+}
+
+// recycle pushes an unlinked entry onto the freelist.
+func (c *Cache) recycle(e *entry) {
+	e.prev = nil
+	e.next = c.free
+	c.free = e
 }
 
 // drop removes a line without writeback bookkeeping (invalidation).
@@ -132,6 +162,7 @@ func (c *Cache) drop(line mem.Addr) {
 	if e := c.lines[line]; e != nil {
 		c.unlink(e)
 		delete(c.lines, line)
+		c.recycle(e)
 	}
 }
 
@@ -144,7 +175,9 @@ func (c *Cache) evictLRU() {
 	}
 	c.unlink(e)
 	delete(c.lines, e.line)
-	c.sys.evicted(c, e.line, e.state)
+	line, st := e.line, e.state
+	c.recycle(e)
+	c.sys.evicted(c, line, st)
 }
 
 func (c *Cache) pushFront(e *entry) {

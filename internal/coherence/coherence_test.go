@@ -571,3 +571,42 @@ func TestStateStrings(t *testing.T) {
 		t.Error("unknown state string empty")
 	}
 }
+
+// TestSteadyStateInsertEvictZeroAllocs drives a working set larger than the
+// L2 so every access cycles the insert/evict/writeback path, and requires
+// the freelists (cache entries and directory entries) to make the steady
+// state allocation-free.
+func TestSteadyStateInsertEvictZeroAllocs(t *testing.T) {
+	plat := platform.ICX()
+	k := sim.New()
+	s := NewSystem(k, plat)
+	host := s.NewAgent(0, "host")
+	// 4x the L2 in lines, so the L2 (and eventually the LLC recency list)
+	// churns on every pass.
+	n := int(4 * plat.L2Bytes / mem.LineSize)
+	base := s.Space().AllocLines(0, n)
+	var avg float64
+	k.Spawn("churn", func(p *sim.Proc) {
+		pass := func() {
+			for i := 0; i < n; i++ {
+				addr := base + mem.Addr(i)*mem.LineSize
+				if i%3 == 0 {
+					host.Write(p, addr, 8)
+				} else {
+					host.Read(p, addr, 8)
+				}
+			}
+		}
+		pass() // warm up: populate caches, directory, and freelists
+		avg = testing.AllocsPerRun(3, pass)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Errorf("steady-state insert/evict allocates %v allocs/run, want 0", avg)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated: %v", err)
+	}
+}

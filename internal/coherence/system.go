@@ -36,6 +36,9 @@ type dirEntry struct {
 	// (Fig 8's separate-line penalty), while a writer that already owns
 	// the line (co-located layouts) commits locally.
 	pendingUntil sim.Time
+	// nextFree links gc'd entries into the system's freelist, preserving
+	// each entry's sharers capacity across reuse.
+	nextFree *dirEntry
 }
 
 // System is the two-socket coherent memory system.
@@ -48,8 +51,13 @@ type System struct {
 	llc      [2]*Cache
 	agents   [2][]*Agent
 	dir      map[mem.Addr]*dirEntry
+	freeDir  *dirEntry // recycled directory entries
 	counters [2]Counters
 	prefetch [2]bool
+
+	// ntLineCost is the serialization time of one nontemporal-store line,
+	// precomputed from the platform's NT bandwidth.
+	ntLineCost sim.Time
 }
 
 // NewSystem builds a coherent memory system for the given platform on the
@@ -65,6 +73,8 @@ func NewSystem(k *sim.Kernel, plat *platform.Platform) *System {
 		space: mem.NewSpace(),
 		link:  interconn.New(wire, plat.UPIHeader, plat.UPICtrlMsg),
 		dir:   make(map[mem.Addr]*dirEntry),
+
+		ntLineCost: sim.Time(float64(mem.LineSize) / plat.PCIe.NTStoreBW * float64(sim.Nanosecond)),
 	}
 	for i := 0; i < 2; i++ {
 		s.llc[i] = newCache(s, fmt.Sprintf("llc%d", i), i, plat.LLCBytes, true)
@@ -108,25 +118,38 @@ func (s *System) NewAgent(socket int, name string) *Agent {
 		socket: socket,
 		name:   name,
 		l2:     newCache(s, name+".l2", socket, s.plat.L2Bytes, false),
+
+		coreLineCost:   sim.Time(float64(mem.LineSize) / s.plat.CoreStreamBW * float64(sim.Nanosecond)),
+		remoteLineCost: sim.Time(float64(mem.LineSize) / s.plat.RemoteStreamBW * float64(sim.Nanosecond)),
 	}
 	s.agents[socket] = append(s.agents[socket], a)
 	return a
 }
 
-// ent returns (creating if needed) the directory entry for a line.
+// ent returns (creating if needed) the directory entry for a line. Entries
+// come from the freelist when possible, so line churn (ring buffers cycling
+// through the address space) allocates nothing in steady state.
 func (s *System) ent(line mem.Addr) *dirEntry {
 	d := s.dir[line]
 	if d == nil {
-		d = &dirEntry{}
+		if d = s.freeDir; d != nil {
+			s.freeDir = d.nextFree
+			d.nextFree = nil
+			d.pendingUntil = 0 // owner/sharers already cleared by gc
+		} else {
+			d = &dirEntry{}
+		}
 		s.dir[line] = d
 	}
 	return d
 }
 
-// gc removes an empty directory entry.
+// gc removes an empty directory entry and recycles it.
 func (s *System) gc(line mem.Addr, d *dirEntry) {
 	if d.owner == nil && len(d.sharers) == 0 {
 		delete(s.dir, line)
+		d.nextFree = s.freeDir
+		s.freeDir = d
 	}
 }
 
@@ -177,14 +200,13 @@ func (s *System) evicted(c *Cache, line mem.Addr, st State) {
 		d.owner = llc
 	} else {
 		d.removeSharer(c)
-		if !d.holds(llc) && d.owner != llc {
-			d.sharers = append(d.sharers, llc)
-		} else {
-			llc.insert(line, st) // refresh recency only
+		if d.holds(llc) || d.owner == llc {
+			llc.touch(line, st) // refresh recency only
 			return
 		}
+		d.sharers = append(d.sharers, llc)
 	}
-	llc.insert(line, st)
+	llc.insertMiss(line, st)
 }
 
 func (d *dirEntry) holds(c *Cache) bool {
@@ -215,7 +237,7 @@ func (s *System) dropEverywhere(line mem.Addr, sock int) bool {
 	for _, c := range d.sharers {
 		c.drop(line)
 	}
-	d.sharers = nil
+	d.sharers = d.sharers[:0]
 	s.gc(line, d)
 	return remote
 }
@@ -230,7 +252,7 @@ func (s *System) DeviceWriteLine(line mem.Addr, socket int) {
 	d := s.ent(line)
 	llc := s.llc[socket]
 	d.owner = llc
-	llc.insert(line, Modified)
+	llc.insertMiss(line, Modified)
 }
 
 // DeviceReadLine applies the coherence side effects of a PCIe DMA read of
@@ -242,10 +264,9 @@ func (s *System) DeviceReadLine(line mem.Addr) {
 		return
 	}
 	owner := d.owner
-	owner.drop(line)
+	owner.touch(line, Shared)
 	d.owner = nil
 	d.sharers = append(d.sharers, owner)
-	owner.insert(line, Shared)
 }
 
 // CheckInvariants validates global coherence invariants; tests call it after

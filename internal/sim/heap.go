@@ -9,13 +9,15 @@ type procHeap struct {
 
 func (h *procHeap) len() int { return len(h.a) }
 
-func (h *procHeap) less(i, j int) bool {
-	pi, pj := h.a[i], h.a[j]
-	if pi.wake != pj.wake {
-		return pi.wake < pj.wake
+// lessProc orders by (wake, seq): earlier wake first, FIFO among equals.
+func lessProc(a, b *Proc) bool {
+	if a.wake != b.wake {
+		return a.wake < b.wake
 	}
-	return pi.seq < pj.seq
+	return a.seq < b.seq
 }
+
+func (h *procHeap) less(i, j int) bool { return lessProc(h.a[i], h.a[j]) }
 
 func (h *procHeap) push(p *Proc) {
 	h.a = append(h.a, p)
@@ -60,6 +62,19 @@ func (h *procHeap) siftDown(i int) {
 		h.a[i], h.a[smallest] = h.a[smallest], h.a[i]
 		i = smallest
 	}
+}
+
+// pushpop pushes p and pops the minimum of heap ∪ {p} in a single sift —
+// half the work of a push followed by a pop, and no heap movement at all
+// when p itself is the minimum. It is the kernel park path's common case.
+func (h *procHeap) pushpop(p *Proc) *Proc {
+	if len(h.a) == 0 || lessProc(p, h.a[0]) {
+		return p
+	}
+	top := h.a[0]
+	h.a[0] = p
+	h.siftDown(0)
+	return top
 }
 
 // peek returns the earliest process without removing it, or nil.

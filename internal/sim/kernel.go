@@ -3,10 +3,14 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"sync/atomic"
 )
 
 // ErrDeadlock is returned by Run when processes remain blocked on events but
-// no process is runnable, so virtual time can no longer advance.
+// no process is runnable, so virtual time can no longer advance. Run wraps it
+// with the names of the blocked processes and the events they wait on; test
+// with errors.Is.
 var ErrDeadlock = errors.New("sim: deadlock: processes blocked with empty run queue")
 
 // procState tracks where a process is in its lifecycle.
@@ -24,6 +28,17 @@ const (
 // kernel shuts down mid-simulation.
 type abortSignal struct{}
 
+// totalEvents accumulates scheduled events across every kernel in the
+// process, flushed once per Run/RunUntil call. It feeds host-side
+// simulation-rate reporting (ccbench -json) and costs nothing on the
+// per-event hot path.
+var totalEvents atomic.Uint64
+
+// TotalEvents returns the number of simulation events executed by all
+// kernels in this process since it started. Deltas around a workload divided
+// by wall-clock time give the host simulation rate in events per second.
+func TotalEvents() uint64 { return totalEvents.Load() }
+
 // Proc is a simulated process. A Proc's function runs on its own goroutine,
 // but the kernel guarantees that at most one process executes at any moment,
 // so processes may freely share model state without synchronization.
@@ -39,7 +54,7 @@ type Proc struct {
 	wake Time // scheduled resume time while runnable
 	seq  uint64
 
-	resume chan bool // kernel -> proc; false means abort
+	resume chan bool // scheduler -> proc; false means abort
 }
 
 // Name returns the process name given at spawn time.
@@ -58,7 +73,6 @@ func (p *Proc) Sleep(d Time) {
 		d = 0
 	}
 	p.wake = p.k.now + d
-	p.k.push(p)
 	p.park(procRunnable)
 }
 
@@ -69,14 +83,74 @@ func (p *Proc) Yield() { p.Sleep(0) }
 // Wait blocks until ev is signaled. Waiters resume in FIFO order at the
 // virtual time of the Signal call.
 func (p *Proc) Wait(ev *Event) {
+	k := ev.k
 	ev.waiters = append(ev.waiters, p)
+	if !ev.reg {
+		// Registration-on-wait: the kernel tracks only events that have
+		// waiters (plus recently-drained ones until the next compaction),
+		// so long-lived kernels do not accumulate every event ever made.
+		ev.reg = true
+		k.waitEvents = append(k.waitEvents, ev)
+		if len(k.waitEvents) >= k.compactAt {
+			k.compactWaitEvents()
+		}
+	}
+	p.wake = k.now
 	p.park(procWaiting)
 }
 
-// park hands control back to the kernel and blocks until resumed.
+// park hands the execution baton to the next runnable process (or back to
+// the Run caller) and blocks until resumed. This is the kernel's hot path:
+// scheduling runs inline on the parking goroutine, so a park-resume cycle
+// costs at most one blocking channel handoff — and none at all when the
+// parking process is itself the next to run.
 func (p *Proc) park(s procState) {
+	k := p.k
 	p.state = s
-	p.k.yielded <- p
+	if s == procRunnable {
+		// Run-next fast path: p wakes strictly before every scheduled
+		// process, so it would be popped right back; skip the heap and the
+		// channels entirely. Strict inequality preserves FIFO ordering at
+		// equal instants (a re-pushed proc would sort behind its peers).
+		if top := k.heap.peek(); (top == nil || p.wake < top.wake) &&
+			!k.stopped && (k.deadline < 0 || p.wake <= k.deadline) {
+			if p.wake > k.now {
+				k.now = p.wake
+			}
+			k.events++
+			p.state = procRunning
+			return
+		}
+		k.seq++
+		p.seq = k.seq
+		if k.stopped {
+			k.heap.push(p) // Shutdown will abort p from the heap
+			k.handoff(nil)
+		} else {
+			// One sift instead of a push and a pop.
+			q := k.heap.pushpop(p)
+			if k.deadline >= 0 && q.wake > k.deadline {
+				k.push(q) // reschedule for a future Run
+				if k.now < k.deadline {
+					k.now = k.deadline
+				}
+				k.handoff(nil)
+			} else {
+				if q.wake > k.now {
+					k.now = q.wake
+				}
+				k.events++
+				if q == p {
+					p.state = procRunning
+					return
+				}
+				k.handoff(q)
+			}
+		}
+	} else {
+		k.waiting++
+		k.handoff(k.next())
+	}
 	if ok := <-p.resume; !ok {
 		panic(abortSignal{})
 	}
@@ -86,22 +160,34 @@ func (p *Proc) park(s procState) {
 // Kernel is a discrete-event simulation kernel. Create one with New, add
 // processes with Spawn, then call Run or RunUntil.
 type Kernel struct {
-	now     Time
-	heap    procHeap
-	seq     uint64
-	nextID  int
-	live    int // spawned and not yet done
-	waiting int // procs blocked on events
-	running bool
-	stopped bool
+	now      Time
+	heap     procHeap
+	seq      uint64
+	nextID   int
+	live     int // spawned and not yet done
+	waiting  int // procs blocked on events
+	running  bool
+	stopped  bool
+	aborting bool // Shutdown in progress: unwinding procs return the baton
+	deadline Time // active RunUntil deadline, or -1
+	events   uint64
 
-	yielded chan *Proc // procs announce they have parked or finished
-	events  []*Event   // all events, so Shutdown can abort their waiters
+	baton chan struct{} // proc -> Run/Shutdown caller when the run ends
+
+	// waitEvents holds events that currently have waiters (conservatively:
+	// drained events linger until compaction), for Shutdown and deadlock
+	// reporting. Compaction keeps it within 2x the live waited-on set.
+	waitEvents []*Event
+	compactAt  int
 }
 
 // New creates an empty kernel at time zero.
 func New() *Kernel {
-	return &Kernel{yielded: make(chan *Proc)}
+	return &Kernel{
+		baton:     make(chan struct{}),
+		deadline:  -1,
+		compactAt: 64,
+	}
 }
 
 // Now returns the current virtual time.
@@ -109,6 +195,10 @@ func (k *Kernel) Now() Time { return k.now }
 
 // Live returns the number of spawned processes that have not finished.
 func (k *Kernel) Live() int { return k.live }
+
+// Events returns the number of simulation events (process resumptions) the
+// kernel has executed.
+func (k *Kernel) Events() uint64 { return k.events }
 
 // Spawn creates a process that will first run at the current virtual time.
 // It may be called before Run or from a running process.
@@ -124,15 +214,7 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 	k.nextID++
 	k.live++
 	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(abortSignal); !ok {
-					panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
-				}
-			}
-			p.state = procDone
-			k.yielded <- p
-		}()
+		defer k.finish(p)
 		if ok := <-p.resume; !ok {
 			panic(abortSignal{})
 		}
@@ -140,6 +222,63 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 		fn(p)
 	}()
 	k.push(p)
+	return p
+}
+
+// finish retires a process whose function returned (or was unwound by an
+// abort) and passes the baton onward.
+func (k *Kernel) finish(p *Proc) {
+	if r := recover(); r != nil {
+		if _, ok := r.(abortSignal); !ok {
+			panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+		}
+	}
+	p.state = procDone
+	k.live--
+	if k.aborting {
+		k.baton <- struct{}{}
+		return
+	}
+	k.handoff(k.next())
+}
+
+// handoff transfers execution to next, or returns the baton to the Run
+// caller when the run is over.
+func (k *Kernel) handoff(next *Proc) {
+	if next != nil {
+		next.resume <- true
+	} else {
+		k.baton <- struct{}{}
+	}
+}
+
+// next pops the next process to run and advances the clock, or returns nil
+// when the run is over (stop, deadline reached, completion, or deadlock —
+// the caller classifies from kernel state).
+func (k *Kernel) next() *Proc {
+	if k.stopped {
+		return nil
+	}
+	p := k.heap.pop()
+	if p == nil {
+		if k.waiting > 0 && k.deadline >= 0 && k.now < k.deadline {
+			// Event waiters are legitimately idle under a deadline: a
+			// later Run may still signal them.
+			k.now = k.deadline
+		}
+		return nil
+	}
+	if k.deadline >= 0 && p.wake > k.deadline {
+		k.push(p) // reschedule for a future Run
+		if k.now < k.deadline {
+			k.now = k.deadline
+		}
+		return nil
+	}
+	if p.wake > k.now {
+		k.now = p.wake
+	}
+	k.events++
 	return p
 }
 
@@ -155,8 +294,8 @@ func (k *Kernel) push(p *Proc) {
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Run executes processes in virtual-time order until all have finished, Stop
-// is called, or deadlock is detected. It returns ErrDeadlock if processes
-// remain blocked on events that nothing can signal.
+// is called, or deadlock is detected. It returns an error wrapping
+// ErrDeadlock if processes remain blocked on events that nothing can signal.
 func (k *Kernel) Run() error { return k.run(-1) }
 
 // RunUntil executes like Run but also returns (with nil error) once the next
@@ -170,51 +309,60 @@ func (k *Kernel) run(deadline Time) error {
 		return errors.New("sim: kernel already running")
 	}
 	k.running = true
-	defer func() { k.running = false }()
-	for !k.stopped {
-		p := k.heap.pop()
-		if p == nil {
-			if k.waiting > 0 {
-				if deadline >= 0 {
-					// Event waiters are legitimately idle under a
-					// deadline: a later Run may still signal them.
-					if k.now < deadline {
-						k.now = deadline
-					}
-					return nil
-				}
-				return ErrDeadlock
+	k.deadline = deadline
+	start := k.events
+	defer func() {
+		k.running = false
+		k.deadline = -1
+		totalEvents.Add(k.events - start)
+	}()
+	if next := k.next(); next != nil {
+		next.resume <- true
+		<-k.baton
+	}
+	if k.stopped {
+		k.stopped = false
+		k.Shutdown()
+		return nil
+	}
+	if deadline < 0 && k.waiting > 0 {
+		return k.deadlockError()
+	}
+	return nil
+}
+
+// deadlockError describes which processes are blocked and on what.
+func (k *Kernel) deadlockError() error {
+	const maxListed = 16
+	var b strings.Builder
+	n := 0
+	for _, ev := range k.waitEvents {
+		for _, p := range ev.waiters {
+			if n == maxListed {
+				fmt.Fprintf(&b, ", ... (%d blocked total)", k.waiting)
+				break
 			}
-			return nil // all processes finished
-		}
-		if deadline >= 0 && p.wake > deadline {
-			k.push(p) // reschedule for a future Run
-			if k.now < deadline {
-				k.now = deadline
+			if n > 0 {
+				b.WriteString(", ")
 			}
-			return nil
+			fmt.Fprintf(&b, "%q on event %q", p.name, ev.name)
+			n++
 		}
-		if p.wake > k.now {
-			k.now = p.wake
-		}
-		p.resume <- true
-		q := <-k.yielded
-		switch q.state {
-		case procDone:
-			k.live--
-		case procWaiting:
-			k.waiting++
+		if n == maxListed {
+			break
 		}
 	}
-	k.stopped = false
-	k.Shutdown()
-	return nil
+	if b.Len() == 0 {
+		return ErrDeadlock
+	}
+	return fmt.Errorf("%w: %s", ErrDeadlock, b.String())
 }
 
 // Shutdown aborts every live process, unwinding its goroutine. The kernel
 // must not be running. After Shutdown the kernel can still Spawn and Run new
 // processes, though typically a fresh kernel is created instead.
 func (k *Kernel) Shutdown() {
+	k.aborting = true
 	for {
 		p := k.heap.pop()
 		if p == nil {
@@ -222,13 +370,16 @@ func (k *Kernel) Shutdown() {
 		}
 		k.abort(p)
 	}
-	for _, ev := range k.events {
+	for _, ev := range k.waitEvents {
 		for _, p := range ev.waiters {
 			k.waiting--
 			k.abort(p)
 		}
 		ev.waiters = nil
+		ev.reg = false
 	}
+	k.waitEvents = k.waitEvents[:0]
+	k.aborting = false
 }
 
 func (k *Kernel) abort(p *Proc) {
@@ -236,8 +387,28 @@ func (k *Kernel) abort(p *Proc) {
 		return
 	}
 	p.resume <- false
-	<-k.yielded
-	k.live--
+	<-k.baton
+}
+
+// compactWaitEvents drops events that no longer have waiters and doubles the
+// next compaction threshold, bounding the tracked set to 2x the live one.
+func (k *Kernel) compactWaitEvents() {
+	kept := k.waitEvents[:0]
+	for _, ev := range k.waitEvents {
+		if len(ev.waiters) > 0 {
+			kept = append(kept, ev)
+		} else {
+			ev.reg = false
+		}
+	}
+	for i := len(kept); i < len(k.waitEvents); i++ {
+		k.waitEvents[i] = nil
+	}
+	k.waitEvents = kept
+	k.compactAt = 2 * len(kept)
+	if k.compactAt < 64 {
+		k.compactAt = 64
+	}
 }
 
 // Event is a broadcast wakeup primitive. Processes block on it with
@@ -246,13 +417,13 @@ type Event struct {
 	k       *Kernel
 	name    string
 	waiters []*Proc
+	reg     bool // tracked in k.waitEvents
 }
 
-// NewEvent creates an event attached to the kernel.
+// NewEvent creates an event attached to the kernel. Events cost the kernel
+// nothing until a process waits on them.
 func (k *Kernel) NewEvent(name string) *Event {
-	ev := &Event{k: k, name: name}
-	k.events = append(k.events, ev)
-	return ev
+	return &Event{k: k, name: name}
 }
 
 // Signal wakes all processes currently waiting on the event. They resume at

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -136,8 +138,15 @@ func TestDeadlockDetection(t *testing.T) {
 	k := New()
 	ev := k.NewEvent("never")
 	k.Spawn("stuck", func(p *Proc) { p.Wait(ev) })
-	if err := k.Run(); err != ErrDeadlock {
+	err := k.Run()
+	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("Run = %v, want ErrDeadlock", err)
+	}
+	// The error must name the blocked process and the event it waits on.
+	for _, want := range []string{`"stuck"`, `"never"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("deadlock error %q does not mention %s", err, want)
+		}
 	}
 	k.Shutdown()
 	if k.Live() != 0 {
@@ -276,8 +285,133 @@ func TestKernelDeterminism(t *testing.T) {
 	}
 }
 
-// Property: a resource never travels backward in time and queueing delay is
-// exactly the prior backlog.
+// A RunUntil deadline exactly equal to a wake time runs that wake (the cut
+// is strictly-after), and the clock lands exactly on the deadline.
+func TestRunUntilDeadlineEqualsWake(t *testing.T) {
+	k := New()
+	var wokeAt []Time
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(10 * Nanosecond)
+			wokeAt = append(wokeAt, p.Now())
+		}
+	})
+	if err := k.RunUntil(30 * Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(wokeAt) != 3 || wokeAt[2] != 30*Nanosecond {
+		t.Errorf("wakes = %v, want exactly [10ns 20ns 30ns]", wokeAt)
+	}
+	if k.Now() != 30*Nanosecond {
+		t.Errorf("now = %v, want 30ns", k.Now())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wokeAt) != 5 {
+		t.Errorf("wakes after full run = %d, want 5", len(wokeAt))
+	}
+}
+
+// Shutdown must unwind waiters spread across several events, including
+// events that also have already-drained peers.
+func TestShutdownWithWaitersOnMultipleEvents(t *testing.T) {
+	k := New()
+	evs := []*Event{k.NewEvent("a"), k.NewEvent("b"), k.NewEvent("c")}
+	drained := k.NewEvent("drained")
+	for i, ev := range evs {
+		ev := ev
+		for j := 0; j <= i; j++ {
+			k.Spawn("w", func(p *Proc) { p.Wait(ev) })
+		}
+	}
+	k.Spawn("quick", func(p *Proc) { p.Wait(drained) })
+	k.Spawn("sig", func(p *Proc) {
+		p.Sleep(Nanosecond)
+		drained.Signal()
+	})
+	if err := k.RunUntil(10 * Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := evs[0].Waiters() + evs[1].Waiters() + evs[2].Waiters(); got != 6 {
+		t.Fatalf("waiters before Shutdown = %d, want 6", got)
+	}
+	k.Shutdown()
+	if k.Live() != 0 {
+		t.Errorf("live after Shutdown = %d, want 0", k.Live())
+	}
+	for _, ev := range evs {
+		if ev.Waiters() != 0 {
+			t.Errorf("event %q still has %d waiters", ev.name, ev.Waiters())
+		}
+	}
+}
+
+// A kernel paused by RunUntil (with a proc parked past the deadline and a
+// waiter parked on an event) must resume cleanly from a later Run.
+func TestRerunAfterRunUntil(t *testing.T) {
+	k := New()
+	ev := k.NewEvent("go")
+	var waiterWoke, sleeperWoke Time
+	k.Spawn("waiter", func(p *Proc) {
+		p.Wait(ev)
+		waiterWoke = p.Now()
+	})
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(100 * Nanosecond)
+		sleeperWoke = p.Now()
+		ev.Signal()
+	})
+	if err := k.RunUntil(40 * Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 40*Nanosecond || waiterWoke != 0 || sleeperWoke != 0 {
+		t.Fatalf("paused state wrong: now=%v waiter=%v sleeper=%v",
+			k.Now(), waiterWoke, sleeperWoke)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sleeperWoke != 100*Nanosecond || waiterWoke != 100*Nanosecond {
+		t.Errorf("woke at (%v, %v), want both 100ns", sleeperWoke, waiterWoke)
+	}
+}
+
+// The steady-state Sleep/Signal hot path must not allocate: parking,
+// resuming, waiting, and signaling all recycle their storage once the heap
+// and waiter slices have grown to workload size.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	k := New()
+	ev := k.NewEvent("tick")
+	k.Spawn("sleeper", func(p *Proc) {
+		for {
+			p.Sleep(3 * Nanosecond)
+		}
+	})
+	k.Spawn("waiter", func(p *Proc) {
+		for {
+			p.Wait(ev)
+		}
+	})
+	k.Spawn("signaler", func(p *Proc) {
+		for {
+			p.Sleep(10 * Nanosecond)
+			ev.Signal()
+		}
+	})
+	deadline := Time(0)
+	step := func() {
+		deadline += Microsecond
+		if err := k.RunUntil(deadline); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step() // warm up: grow heap, waiter lists, and event registration
+	if avg := testing.AllocsPerRun(50, step); avg != 0 {
+		t.Errorf("steady-state Sleep/Signal allocates %v allocs/run, want 0", avg)
+	}
+	k.Shutdown()
+}
 func TestResourceProperties(t *testing.T) {
 	f := func(holds []uint16) bool {
 		var r Resource

@@ -13,17 +13,22 @@ type Resource struct {
 // It returns the queueing delay the caller experiences before its hold
 // begins. The caller is expected to advance its own clock by delay+hold
 // (or just delay, for posted operations that do not wait for completion).
+//
+// Acquire sits on the simulator's per-message hot path (every interconnect
+// and PCIe transfer funnels through it) and must stay allocation-free; the
+// idle case falls through with a single compare.
 func (r *Resource) Acquire(now, hold Time) (delay Time) {
 	if hold < 0 {
 		hold = 0
 	}
-	start := now
-	if r.busyUntil > start {
-		start = r.busyUntil
-	}
-	r.busyUntil = start + hold
 	r.busyTotal += hold
-	return start - now
+	if r.busyUntil <= now {
+		r.busyUntil = now + hold
+		return 0
+	}
+	delay = r.busyUntil - now
+	r.busyUntil += hold
+	return delay
 }
 
 // BusyUntil returns the virtual time at which the resource becomes free.
