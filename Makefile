@@ -5,12 +5,17 @@
 #   make race         race detector over the one package with real goroutines
 #   make bench-smoke  one-iteration pass over the kernel + headline benches
 #   make bench-json   regenerate the host-perf trajectory file (minutes)
+#   make golden-check full suite with online invariant checks, diffed against
+#                     the committed golden transcript (minutes)
+#   make golden       regenerate the committed golden transcript and the
+#                     quick-suite output hashes after an intentional model
+#                     change (minutes)
 
 GO ?= go
 
-.PHONY: check verify vet race bench-smoke bench-json
+.PHONY: check verify vet race bench-smoke bench-json golden-check golden
 
-check: verify vet race bench-smoke
+check: verify vet race bench-smoke golden-check
 
 verify:
 	$(GO) build ./...
@@ -27,3 +32,15 @@ bench-smoke:
 
 bench-json:
 	$(GO) run ./cmd/ccbench -all -json BENCH_PR1.json
+
+# Every experiment at full scale with the invariant engine attached; output
+# must be bit-identical to the committed transcript. ccbench exits 1 on any
+# invariant violation or golden divergence.
+golden-check:
+	$(GO) run ./cmd/ccbench -all -check -golden experiments_full.txt > /dev/null
+
+# Regenerate the goldens. Run only after an intentional model change, and
+# review the transcript diff like source.
+golden:
+	$(GO) run ./cmd/ccbench -all -check > experiments_full.txt
+	$(GO) run ./cmd/ccbench -quick -all -hashes experiments_quick_hashes.json > /dev/null

@@ -15,14 +15,17 @@
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
+	"ccnic/internal/check"
 	"ccnic/internal/experiments"
 )
 
@@ -51,6 +54,9 @@ func main() {
 	jsonPath := flag.String("json", "", "write per-experiment host-perf records to `file`")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to `file`")
+	checkFlag := flag.Bool("check", false, "validate model invariants online in every simulation (internal/check)")
+	goldenPath := flag.String("golden", "", "diff each experiment's output against golden `file`; exit 1 on any mismatch")
+	hashesPath := flag.String("hashes", "", "write a JSON map of experiment id -> sha256 of normalized output to `file`")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ccbench [-quick] [-json file] [-all | -list | <id>...]\n\n")
 		fmt.Fprintf(os.Stderr, "Regenerates the CC-NIC paper's evaluation tables and figures.\n\n")
@@ -97,6 +103,24 @@ func main() {
 		}
 		jsonFile = f
 	}
+	var golden map[string]string
+	if *goldenPath != "" {
+		if *quick {
+			fatalf("ccbench: -golden compares full-scale output; drop -quick")
+		}
+		buf, err := os.ReadFile(*goldenPath)
+		if err != nil {
+			fatalf("ccbench: %v", err)
+		}
+		golden = splitGolden(string(buf))
+	}
+	var hashes map[string]string
+	if *hashesPath != "" {
+		hashes = make(map[string]string)
+	}
+	if *checkFlag {
+		check.EnableAuto()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -117,14 +141,48 @@ func main() {
 		Quick:     *quick,
 	}
 	opt := experiments.Options{Quick: *quick}
+	goldenBad := 0
 	for _, e := range exps {
 		report, cost := experiments.Measure(e, opt)
-		fmt.Println(report.Format())
-		fmt.Printf("paper: %s\n[%s completed in %s | %.2fM sim events, %.2fM events/s, %.2f allocs/event]\n\n",
-			e.Paper, e.ID, time.Duration(cost.WallSeconds*float64(time.Second)).Round(time.Millisecond),
+		section := experiments.Section(e, report)
+		fmt.Print(section)
+		fmt.Printf("[%s completed in %s | %.2fM sim events, %.2fM events/s, %.2f allocs/event]\n\n",
+			e.ID, time.Duration(cost.WallSeconds*float64(time.Second)).Round(time.Millisecond),
 			float64(cost.SimEvents)/1e6, cost.EventsPerSec/1e6, cost.AllocsPerEvt)
+		norm := experiments.Normalize(section)
+		if golden != nil {
+			if want, ok := golden[e.ID]; !ok {
+				fmt.Fprintf(os.Stderr, "ccbench: golden: no section for %s in %s\n", e.ID, *goldenPath)
+				goldenBad++
+			} else if norm != want {
+				reportGoldenDiff(e.ID, want, norm)
+				goldenBad++
+			}
+		}
+		if hashes != nil {
+			hashes[e.ID] = fmt.Sprintf("%x", sha256.Sum256([]byte(norm)))
+		}
 		out.Experiments = append(out.Experiments, benchRecord{ID: e.ID, Title: e.Title, HostCost: cost})
 		out.Total.Add(cost)
+	}
+	if *checkFlag {
+		fmt.Fprintf(os.Stderr, "ccbench: invariants held: %d checks across %d simulations\n",
+			check.TotalChecks(), check.TotalEngines())
+	}
+	if hashes != nil {
+		buf, err := json.MarshalIndent(hashes, "", "  ")
+		if err != nil {
+			fatalf("ccbench: marshal hashes: %v", err)
+		}
+		if err := os.WriteFile(*hashesPath, append(buf, '\n'), 0o644); err != nil {
+			fatalf("ccbench: %v", err)
+		}
+	}
+	if golden != nil {
+		if goldenBad > 0 {
+			fatalf("ccbench: golden: %d of %d experiments diverged from %s", goldenBad, len(exps), *goldenPath)
+		}
+		fmt.Fprintf(os.Stderr, "ccbench: golden: %d experiments bit-identical to %s\n", len(exps), *goldenPath)
 	}
 
 	if jsonFile != nil {
@@ -159,4 +217,46 @@ func main() {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
+}
+
+// splitGolden parses a full ccbench transcript into normalized per-experiment
+// sections keyed by experiment ID.
+func splitGolden(text string) map[string]string {
+	sections := make(map[string]string)
+	var id string
+	var cur []string
+	flush := func() {
+		if id != "" {
+			sections[id] = experiments.Normalize(strings.Join(cur, "\n"))
+		}
+		cur = cur[:0]
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, "== "); ok {
+			flush()
+			id, _, _ = strings.Cut(rest, ":")
+		}
+		cur = append(cur, line)
+	}
+	flush()
+	return sections
+}
+
+// reportGoldenDiff prints the first differing line of a mismatched section.
+func reportGoldenDiff(id, want, got string) {
+	wantLines := strings.Split(want, "\n")
+	gotLines := strings.Split(got, "\n")
+	n := len(wantLines)
+	if len(gotLines) < n {
+		n = len(gotLines)
+	}
+	for i := 0; i < n; i++ {
+		if wantLines[i] != gotLines[i] {
+			fmt.Fprintf(os.Stderr, "ccbench: golden: %s diverges at line %d:\n  golden: %q\n  got:    %q\n",
+				id, i+1, wantLines[i], gotLines[i])
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ccbench: golden: %s diverges in length: golden %d lines, got %d\n",
+		id, len(wantLines), len(gotLines))
 }

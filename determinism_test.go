@@ -1,8 +1,14 @@
-package ccnic
+package ccnic_test
 
 import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
 	"testing"
 
+	"ccnic"
+	"ccnic/internal/experiments"
 	"ccnic/internal/sim"
 )
 
@@ -11,10 +17,10 @@ import (
 // in this repository reproducible.
 func TestEndToEndDeterminism(t *testing.T) {
 	run := func() (float64, sim.Time, sim.Time) {
-		tb := NewTestbed(Config{
-			Platform: "ICX", Interface: CCNIC, Queues: 4, HostPrefetch: true,
+		tb := ccnic.NewTestbed(ccnic.Config{
+			Platform: "ICX", Interface: ccnic.CCNIC, Queues: 4, HostPrefetch: true,
 		})
-		res := tb.RunLoopback(LoopbackOptions{
+		res := tb.RunLoopback(ccnic.LoopbackOptions{
 			PktSize: 64, Window: 64,
 			Warmup: 20 * sim.Microsecond, Measure: 60 * sim.Microsecond,
 		})
@@ -27,13 +33,60 @@ func TestEndToEndDeterminism(t *testing.T) {
 	}
 }
 
+// TestExperimentOutputDeterminism runs every registered experiment twice in
+// quick mode and hashes the normalized printed output (exactly what ccbench
+// -hashes computes). Both runs must match each other — bit-identical text,
+// not just headline numbers — and match the hashes committed in
+// experiments_quick_hashes.json. After an intentional model change,
+// regenerate the committed hashes with `make golden`.
+func TestExperimentOutputDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite twice")
+	}
+	buf, err := os.ReadFile("experiments_quick_hashes.json")
+	if err != nil {
+		t.Fatalf("read committed hashes: %v", err)
+	}
+	golden := make(map[string]string)
+	if err := json.Unmarshal(buf, &golden); err != nil {
+		t.Fatalf("parse committed hashes: %v", err)
+	}
+	exps := experiments.All()
+	if len(golden) != len(exps) {
+		t.Errorf("committed hash file has %d entries, registry has %d experiments; run make golden",
+			len(golden), len(exps))
+	}
+	for _, e := range exps {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			hash := func() string {
+				r := e.Run(experiments.Options{Quick: true})
+				norm := experiments.Normalize(experiments.Section(e, r))
+				return fmt.Sprintf("%x", sha256.Sum256([]byte(norm)))
+			}
+			h1, h2 := hash(), hash()
+			if h1 != h2 {
+				t.Fatalf("two quick runs produced different output: %s vs %s", h1, h2)
+			}
+			want, ok := golden[e.ID]
+			if !ok {
+				t.Fatalf("no committed hash for %s; run make golden", e.ID)
+			}
+			if h1 != want {
+				t.Errorf("output hash %s differs from committed %s; if the model change is intentional, run make golden", h1, want)
+			}
+		})
+	}
+}
+
 // TestDeterminismAcrossInterfaces covers the PCIe pipeline too.
 func TestDeterminismAcrossInterfaces(t *testing.T) {
-	for _, iface := range []Interface{UnoptUPI, E810} {
+	for _, iface := range []ccnic.Interface{ccnic.UnoptUPI, ccnic.E810} {
 		iface := iface
 		run := func() float64 {
-			tb := NewTestbed(Config{Platform: "ICX", Interface: iface, Queues: 2})
-			res := tb.RunLoopback(LoopbackOptions{
+			tb := ccnic.NewTestbed(ccnic.Config{Platform: "ICX", Interface: iface, Queues: 2})
+			res := tb.RunLoopback(ccnic.LoopbackOptions{
 				PktSize: 256, Window: 32,
 				Warmup: 20 * sim.Microsecond, Measure: 40 * sim.Microsecond,
 			})

@@ -186,6 +186,42 @@ func (pl *Pool) Shared() bool { return pl.cfg.Shared }
 // Outstanding returns the number of currently allocated buffers.
 func (pl *Pool) Outstanding() int { return pl.allocatedBufs }
 
+// notify reports a completed pool mutation to the system's validation probe.
+func (pl *Pool) notify() {
+	if pr := pl.sys.Probe(); pr != nil {
+		pr.ObjectEvent(pl)
+	}
+}
+
+// CheckDesc implements coherence.Checkable.
+func (pl *Pool) CheckDesc() string {
+	return fmt.Sprintf("bufpool home=%d bigs=%d shared=%v recycle=%v",
+		pl.cfg.Home, pl.cfg.BigCount, pl.cfg.Shared, pl.cfg.Recycle)
+}
+
+// CheckCounts is the cheap (O(ports)) conservation check: list lengths plus
+// the allocated counter must equal the total, with no negative counters. The
+// full duplicate scan lives in CheckConservation.
+func (pl *Pool) CheckCounts() error {
+	if pl.allocatedBufs < 0 {
+		return fmt.Errorf("bufpool: negative allocated count %d", pl.allocatedBufs)
+	}
+	free := len(pl.seedBig) + len(pl.seedSmall)
+	for _, pt := range pl.ports {
+		free += len(pt.recycleBig) + len(pt.recycleSmall)
+		free += len(pt.shardBig) + len(pt.shardSmall)
+	}
+	if free+pl.allocatedBufs != pl.totalBufs {
+		return fmt.Errorf("bufpool: %d free + %d allocated != %d total",
+			free, pl.allocatedBufs, pl.totalBufs)
+	}
+	return nil
+}
+
+// CheckInvariants implements coherence.Checkable with the cheap check; the
+// invariant engine runs CheckConservation on its throttled full passes.
+func (pl *Pool) CheckInvariants() error { return pl.CheckCounts() }
+
 // carveSmall splits one big buffer from the shard into small buffers in the
 // configured fill order.
 func (pt *Port) carveSmall() bool {
@@ -302,8 +338,11 @@ func (pt *Port) Alloc(p *sim.Proc, size int) *Buf {
 		if n := len(*stack); n > 0 {
 			b := (*stack)[n-1]
 			*stack = (*stack)[:n-1]
+			// Transition before charging: Exec yields, and the pool
+			// must conserve buffers at every yield point.
+			b = pl.take(b)
 			pt.agent.Exec(p, stackOpCost) // L1-resident stack pop
-			return pl.take(b)
+			return b
 		}
 	}
 	// Central pool refill/alloc.
@@ -429,6 +468,7 @@ func (pl *Pool) take(b *Buf) *Buf {
 	b.state = stateAllocated
 	b.ResetMeta()
 	pl.allocatedBufs++
+	pl.notify()
 	return b
 }
 
@@ -468,9 +508,11 @@ func (pt *Port) Free(p *sim.Proc, b *Buf) {
 		if len(*stack) > pl.cfg.RecycleDepth {
 			pt.spill(p, stack)
 		}
+		pl.notify()
 		return
 	}
 	pt.centralFree(p, []*Buf{b})
+	pl.notify()
 }
 
 // FreeBurst frees a batch of buffers.

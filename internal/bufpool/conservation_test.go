@@ -1,0 +1,130 @@
+package bufpool_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ccnic/internal/bufpool"
+	"ccnic/internal/check"
+	"ccnic/internal/coherence"
+	"ccnic/internal/platform"
+	"ccnic/internal/sim"
+)
+
+// drainQueue frees every buffer queued for port w, popping one at a time
+// because Free yields and other workers append to the queue mid-yield.
+func drainQueue(p *sim.Proc, pt *bufpool.Port, pending [][]*bufpool.Buf, w int) {
+	for len(pending[w]) > 0 {
+		b := pending[w][len(pending[w])-1]
+		pending[w] = pending[w][:len(pending[w])-1]
+		pt.Free(p, b)
+	}
+}
+
+// TestConcurrentConservation hammers the pool from concurrent host and NIC
+// ports across the paper's management modes — recycled LIFO, FIFO (no
+// recycling), small-buffer subdivision, and host-only management — with
+// randomized alloc/free bursts and cross-port frees (host allocates, NIC
+// frees, and vice versa, as TX/RX buffer flows do). The invariant engine
+// validates counter conservation after every pool mutation; at drain the
+// full duplicate scan must reconcile with zero outstanding buffers.
+func TestConcurrentConservation(t *testing.T) {
+	modes := []struct {
+		name string
+		cfg  bufpool.Config
+	}{
+		{"recycled", bufpool.Config{Shared: true, Recycle: true, RecycleDepth: 8}},
+		{"fifo", bufpool.Config{Shared: true}},
+		{"smallbufs", bufpool.Config{Shared: true, Recycle: true, SmallBufs: true, RecycleDepth: 8}},
+		{"host-only", bufpool.Config{}},
+	}
+	for _, mode := range modes {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", mode.name, seed), func(t *testing.T) {
+				k := sim.New()
+				sys := coherence.NewSystem(k, platform.ICX())
+				e := check.Attach(sys)
+				e.SetFullEvery(256)
+
+				cfg := mode.cfg
+				cfg.Sys = sys
+				cfg.BigCount = 64
+				cfg.BigSize = 4096
+				pool := bufpool.New(cfg)
+
+				// Host-only pools accept only host-socket ports; shared
+				// pools get a NIC port too, exercising remote management.
+				agents := []*coherence.Agent{sys.NewAgent(0, "h0"), sys.NewAgent(0, "h1")}
+				if cfg.Shared {
+					agents = append(agents, sys.NewAgent(1, "n0"), sys.NewAgent(1, "n1"))
+				}
+				ports := make([]*bufpool.Port, len(agents))
+				for i, a := range agents {
+					ports[i] = pool.Attach(a)
+				}
+
+				// Each worker allocates bursts and hands them to a
+				// randomly chosen port's free queue (cross-port flow).
+				pending := make([][]*bufpool.Buf, len(ports))
+				for w := range ports {
+					w := w
+					rng := rand.New(rand.NewSource(seed*100 + int64(w)))
+					k.Spawn(fmt.Sprintf("worker%d", w), func(p *sim.Proc) {
+						// Deadline-bounded: with few buffers and many
+						// workers, the tail of the run can starve a
+						// worker whose peers already exited holding
+						// its buffers in their free queues.
+						deadline := p.Now() + 200*sim.Microsecond
+						allocated := 0
+						for allocated < 400 && p.Now() < deadline {
+							// Drain anything other workers freed to us.
+							// Pop one at a time: Free yields, and other
+							// workers append to this queue mid-yield.
+							drainQueue(p, ports[w], pending, w)
+
+							n := 1 + rng.Intn(6)
+							size := 64
+							if cfg.SmallBufs && rng.Intn(2) == 0 {
+								size = 1024
+							}
+							bufs := make([]*bufpool.Buf, n)
+							got := ports[w].AllocBurst(p, size, bufs)
+							allocated += got
+							for _, b := range bufs[:got] {
+								dst := rng.Intn(len(ports))
+								pending[dst] = append(pending[dst], b)
+							}
+							p.Sleep(sim.Time(10+rng.Intn(200)) * sim.Nanosecond)
+						}
+						// Final drain of our own queue.
+						drainQueue(p, ports[w], pending, w)
+					})
+				}
+				if err := k.Run(); err != nil {
+					t.Fatal(err)
+				}
+				// Reconcile at drain: stragglers routed to workers that
+				// already exited are freed here, then nothing may be
+				// outstanding or duplicated.
+				k.Spawn("drain", func(p *sim.Proc) {
+					for w := range pending {
+						drainQueue(p, ports[w], pending, w)
+					}
+				})
+				if err := k.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if pool.Outstanding() != 0 {
+					t.Errorf("%d buffers still allocated after drain", pool.Outstanding())
+				}
+				if err := pool.CheckConservation(); err != nil {
+					t.Error(err)
+				}
+				if err := pool.CheckCounts(); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}

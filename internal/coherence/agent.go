@@ -59,6 +59,7 @@ func (s *System) accessLine(a *Agent, line mem.Addr, write, quiet, fullLine bool
 	// L2 hit paths.
 	if e := a.l2.get(line); e != nil {
 		if !write || e.state == Modified {
+			s.lineEvent(line)
 			return result{lat: p.L2Hit}
 		}
 		// Shared -> Modified upgrade.
@@ -81,6 +82,7 @@ func (s *System) accessLine(a *Agent, line mem.Addr, write, quiet, fullLine bool
 		if commit := now + lat; commit > d.pendingUntil {
 			d.pendingUntil = commit
 		}
+		s.lineEvent(line)
 		return result{lat: lat, crossed: crossed}
 	}
 
@@ -248,6 +250,7 @@ func (s *System) accessLine(a *Agent, line mem.Addr, write, quiet, fullLine bool
 	if quiet {
 		ctr.Prefetches++
 	}
+	s.lineEvent(line)
 	return result{lat: lat, crossed: crossed, data: dataMoved, queue: queue, stall: stall}
 }
 
@@ -261,10 +264,36 @@ func (s *System) commitRead(a *Agent, line mem.Addr) {
 	d := s.ent(line)
 	switch {
 	case d.owner != nil:
-		// Migratory dirty forwarding: ownership moves to the reader.
-		d.owner.drop(line)
-		d.owner = a.l2
-		a.l2.insertMiss(line, Modified)
+		owner := d.owner
+		switch {
+		case s.mutation == MutateStaleMigration:
+			// Deliberate defect (engine self-tests): migrate ownership
+			// without invalidating the previous owner's copy.
+			d.owner = a.l2
+			a.l2.insertMiss(line, Modified)
+		case s.noMigrate:
+			// Ablation: demote the owner to Shared (writing the dirty
+			// data back to home) and fill the reader Shared. The
+			// owner's next store then pays an upgrade/invalidate
+			// crossing — the extra roundtrip traffic Fig 8/17 measure.
+			d.owner = nil
+			if owner.isLLC {
+				owner.drop(line)
+			} else {
+				owner.touch(line, Shared)
+				d.sharers = append(d.sharers, owner)
+			}
+			d.sharers = append(d.sharers, a.l2)
+			a.l2.insertMiss(line, Shared)
+			if mem.Home(line) != owner.socket {
+				s.counters[owner.socket].Writebacks++
+			}
+		default:
+			// Migratory dirty forwarding: ownership moves to the reader.
+			owner.drop(line)
+			d.owner = a.l2
+			a.l2.insertMiss(line, Modified)
+		}
 	case len(d.sharers) > 0:
 		if llc := s.llc[a.socket]; d.holds(llc) {
 			// Victim-cache semantics: the line moves up.
@@ -277,6 +306,7 @@ func (s *System) commitRead(a *Agent, line mem.Addr) {
 		d.sharers = append(d.sharers, a.l2)
 		a.l2.insertMiss(line, Shared)
 	}
+	s.lineEvent(line)
 }
 
 // invalidateOthers snoops out every copy except keeper's, returning the

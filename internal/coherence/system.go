@@ -58,6 +58,14 @@ type System struct {
 	// ntLineCost is the serialization time of one nontemporal-store line,
 	// precomputed from the platform's NT bandwidth.
 	ntLineCost sim.Time
+
+	// probe is the optional online validation hook (internal/check); nil
+	// in normal runs, so the enabled checks cost one branch per event.
+	probe Probe
+	// noMigrate disables migratory dirty forwarding (Fig 8/17 ablation).
+	noMigrate bool
+	// mutation arms a deliberate protocol defect for engine self-tests.
+	mutation Mutation
 }
 
 // NewSystem builds a coherent memory system for the given platform on the
@@ -78,6 +86,9 @@ func NewSystem(k *sim.Kernel, plat *platform.Platform) *System {
 	}
 	for i := 0; i < 2; i++ {
 		s.llc[i] = newCache(s, fmt.Sprintf("llc%d", i), i, plat.LLCBytes, true)
+	}
+	if AutoAttach != nil {
+		AutoAttach(s)
 	}
 	return s
 }
@@ -239,6 +250,7 @@ func (s *System) dropEverywhere(line mem.Addr, sock int) bool {
 	}
 	d.sharers = d.sharers[:0]
 	s.gc(line, d)
+	s.lineEvent(line)
 	return remote
 }
 
@@ -253,6 +265,7 @@ func (s *System) DeviceWriteLine(line mem.Addr, socket int) {
 	llc := s.llc[socket]
 	d.owner = llc
 	llc.insertMiss(line, Modified)
+	s.lineEvent(line)
 }
 
 // DeviceReadLine applies the coherence side effects of a PCIe DMA read of
@@ -267,6 +280,7 @@ func (s *System) DeviceReadLine(line mem.Addr) {
 	owner.touch(line, Shared)
 	d.owner = nil
 	d.sharers = append(d.sharers, owner)
+	s.lineEvent(line)
 }
 
 // CheckInvariants validates global coherence invariants; tests call it after

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"regexp"
 	"runtime"
 	"sort"
 	"strings"
@@ -96,6 +97,38 @@ func idKey(id string) string {
 
 // ByID returns the experiment with the given ID, or nil.
 func ByID(id string) *Experiment { return registry[id] }
+
+// Section renders an experiment's complete output section exactly as ccbench
+// prints it (minus the timing trailer, which varies run to run). The golden
+// regression and the determinism test hash this rendering, so it must stay
+// byte-stable for a given model.
+func Section(e *Experiment, r *Report) string {
+	return r.Format() + "\npaper: " + e.Paper + "\n"
+}
+
+// timingLine matches ccbench's per-experiment trailer, which carries
+// wall-clock numbers and must not participate in golden comparisons. The
+// golden file may predate the event-rate suffix, so only the prefix matches.
+var timingLine = regexp.MustCompile(`^\[\S+ completed in `)
+
+// Normalize strips run-varying lines (timing trailers, driver EXIT markers)
+// and trailing blank lines so sections compare bit-for-bit on model output
+// alone. ccbench's -golden / -hashes modes and the repository's determinism
+// test share this definition; a hash of Normalize(Section(e, r)) is the
+// canonical fingerprint of an experiment's output.
+func Normalize(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if timingLine.MatchString(line) || strings.HasPrefix(line, "EXIT=") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	for len(keep) > 0 && strings.TrimSpace(keep[len(keep)-1]) == "" {
+		keep = keep[:len(keep)-1]
+	}
+	return strings.Join(keep, "\n") + "\n"
+}
 
 // parallel runs fn(0..n-1) concurrently, bounded by the host CPU count.
 // Each index builds its own simulation kernel, so points are independent;

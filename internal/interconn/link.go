@@ -102,6 +102,12 @@ func (l *Link) Backlog(dir Direction, now sim.Time) sim.Time {
 	return l.res[dir].Backlog(now)
 }
 
+// BusyUntil returns when the given direction's wire frees up. It only ever
+// moves forward — the monotonicity the invariant engine checks.
+func (l *Link) BusyUntil(dir Direction) sim.Time {
+	return l.res[dir].BusyUntil()
+}
+
 // Opposite returns the reverse direction.
 func (d Direction) Opposite() Direction { return 1 - d }
 

@@ -169,6 +169,23 @@ func Run(cfg Config) Result {
 				if got > 0 {
 					a.GatherRead(p, payloadLines(rx[:got]))
 					now := p.Now()
+					if pr := cfg.Sys.Probe(); pr != nil {
+						if st.rcvd+int64(got) > st.sent {
+							pr.Fail(fmt.Errorf("loopback queue %d: received %d packets but only sent %d",
+								i, st.rcvd+int64(got), st.sent))
+						}
+						for j := 0; j < got; j++ {
+							b := rx[j]
+							if b.Seq == 0 {
+								pr.Fail(fmt.Errorf("loopback queue %d: buffer %#x delivered with zero sequence number at t=%v",
+									i, b.Addr, now))
+							}
+							if b.Born > now {
+								pr.Fail(fmt.Errorf("loopback queue %d: buffer %#x born at t=%v but received at t=%v",
+									i, b.Addr, b.Born, now))
+							}
+						}
+					}
 					for j := 0; j < got; j++ {
 						b := rx[j]
 						cfg.Trace.Mark(traceSeq(i, b.Seq), trace.Received, now)

@@ -123,6 +123,89 @@ func NewInline(sys *coherence.System, layout Layout, nLines, producerSocket int)
 // Layout returns the ring's descriptor layout.
 func (r *Inline) Layout() Layout { return r.layout }
 
+// notify reports a completed ring mutation to the system's validation probe.
+func (r *Inline) notify() {
+	if pr := r.sys.Probe(); pr != nil {
+		pr.ObjectEvent(r)
+	}
+}
+
+// CheckDesc implements coherence.Checkable.
+func (r *Inline) CheckDesc() string {
+	return fmt.Sprintf("inline ring %s/%d @%#x", r.layout, r.nLines, r.base)
+}
+
+// Cursors returns the ring's monotone cursors — effective producer position
+// (counting a partially-filled packed line), consumer position, reclaim
+// position — plus the current credit count, for the invariant engine and
+// tests.
+func (r *Inline) Cursors() (prod, cons, reclaim, credits int) {
+	prod = r.prod
+	if r.layout == Packed && r.prodSlot > 0 {
+		prod++
+	}
+	return prod, r.cons, r.reclaim, r.credits
+}
+
+// CheckInvariants implements coherence.Checkable: cursor ordering, credit
+// accounting, every line the consumer has passed fully cleared (the
+// skip-to-next-group rule never skips a ready descriptor), and every
+// published line carrying ready descriptors. O(nLines) worst case, O(live
+// window) in practice.
+func (r *Inline) CheckInvariants() error {
+	prod, cons, reclaim, credits := r.Cursors()
+	if credits < 0 || credits > r.nLines-1 {
+		return fmt.Errorf("credits %d outside [0,%d]", credits, r.nLines-1)
+	}
+	if reclaim > cons {
+		return fmt.Errorf("reclaim cursor %d ahead of consumer %d", reclaim, cons)
+	}
+	if cons > prod {
+		return fmt.Errorf("consumer %d ahead of producer %d", cons, prod)
+	}
+	// A mid-burst packed post holds a credit for the line it is filling
+	// before the producer cursor reflects it, so allow a deficit of one.
+	want := r.nLines - 1 - (prod - reclaim)
+	if credits > want || credits < want-1 {
+		return fmt.Errorf("credits %d inconsistent with cursors (prod %d reclaim %d, want %d)",
+			credits, prod, reclaim, want)
+	}
+	for i := reclaim; i < cons; i++ {
+		if !r.cleared(r.lineAt(i)) {
+			return fmt.Errorf("line %d passed by consumer (cons %d) but not cleared", i, cons)
+		}
+	}
+	for i := cons; i < prod; i++ {
+		ln := r.lineAt(i)
+		if r.layout == Packed {
+			for j := ln.taken; j < ln.count; j++ {
+				if ln.bufs[j] != nil && !ln.slotReady[j] {
+					return fmt.Errorf("packed line %d slot %d holds a buffer with a clear ready flag", i, j)
+				}
+			}
+			continue
+		}
+		if !ln.ready {
+			return fmt.Errorf("published line %d (cons %d prod %d) not ready", i, cons, prod)
+		}
+		if ln.count == 0 || ln.count > r.layout.DescsPerLine() {
+			return fmt.Errorf("published line %d has descriptor count %d", i, ln.count)
+		}
+		if ln.taken > ln.count {
+			return fmt.Errorf("line %d has %d taken of %d descriptors", i, ln.taken, ln.count)
+		}
+		if i > cons && ln.taken != 0 {
+			return fmt.Errorf("line %d beyond the consumer already partially taken (%d)", i, ln.taken)
+		}
+		for j := ln.taken; j < ln.count; j++ {
+			if ln.bufs[j] == nil {
+				return fmt.Errorf("line %d slot %d ready but carries no buffer", i, j)
+			}
+		}
+	}
+	return nil
+}
+
 // Cap returns the ring capacity in descriptors.
 func (r *Inline) Cap() int { return r.nLines * r.layout.DescsPerLine() }
 
@@ -172,6 +255,7 @@ func (r *Inline) Post(p *sim.Proc, a *coherence.Agent, bufs []*bufpool.Buf) int 
 				r.prod++
 			}
 		}
+		r.notify()
 		return posted
 	}
 	per := r.layout.DescsPerLine()
@@ -194,6 +278,7 @@ func (r *Inline) Post(p *sim.Proc, a *coherence.Agent, bufs []*bufpool.Buf) int 
 		r.credits--
 		posted += n
 	}
+	r.notify()
 	return posted
 }
 
@@ -220,6 +305,7 @@ func (r *Inline) replenish(p *sim.Proc, a *coherence.Agent, want int) {
 	if len(scan) > 0 {
 		a.GatherRead(p, scan)
 		r.reclaimedSinceTake += len(scan)
+		r.notify()
 	}
 }
 
@@ -248,6 +334,12 @@ func (r *Inline) cleared(ln *line) bool {
 // descriptors, clearing consumed state (the completion/credit signal).
 // It returns the buffers taken; an empty result means nothing was ready.
 func (r *Inline) Consume(p *sim.Proc, a *coherence.Agent, max int) []*bufpool.Buf {
+	out := r.consume(p, a, max)
+	r.notify()
+	return out
+}
+
+func (r *Inline) consume(p *sim.Proc, a *coherence.Agent, max int) []*bufpool.Buf {
 	var out []*bufpool.Buf
 	for len(out) < max {
 		ln := r.lineAt(r.cons)
@@ -262,6 +354,12 @@ func (r *Inline) Consume(p *sim.Proc, a *coherence.Agent, max int) []*bufpool.Bu
 				}
 				// Poll+take+clear one descriptor slot.
 				a.Poll(p, addr+mem.Addr(i*DescSize), DescSize)
+				// Online descriptor-group safety assertion: the poll
+				// yielded, so re-check that the slot still carries a
+				// set, visible ready flag before taking it.
+				if pr := r.sys.Probe(); pr != nil && (!ln.slotReady[i] || p.Now() < ln.slotVisible[i]) {
+					pr.Fail(fmt.Errorf("%s: consuming slot %d of line %d with a clear or not-yet-visible ready flag", r.CheckDesc(), i, r.cons))
+				}
 				out = append(out, ln.bufs[i])
 				vis := a.WriteAsync(p, addr+mem.Addr(i*DescSize), DescSize)
 				ln.clearVisibleAt = vis

@@ -1,6 +1,8 @@
 package ring
 
 import (
+	"fmt"
+
 	"ccnic/internal/bufpool"
 	"ccnic/internal/coherence"
 	"ccnic/internal/mem"
@@ -16,6 +18,7 @@ import (
 // uses loads and stores — so the device and driver models charge time
 // themselves using the address helpers here.
 type Reg struct {
+	sys   *coherence.System
 	nDesc int
 	base  mem.Addr
 	tail  mem.Addr // producer doorbell register line
@@ -39,6 +42,7 @@ func NewReg(sys *coherence.System, nDesc, descSocket, regSocket int) *Reg {
 	}
 	sp := sys.Space()
 	return &Reg{
+		sys:   sys,
 		nDesc: nDesc,
 		base:  sp.Alloc(descSocket, nDesc*DescSize, mem.LineSize),
 		tail:  sp.AllocLines(regSocket, 1),
@@ -50,6 +54,32 @@ func NewReg(sys *coherence.System, nDesc, descSocket, regSocket int) *Reg {
 
 // Size returns the descriptor count.
 func (r *Reg) Size() int { return r.nDesc }
+
+// notify reports a completed ring mutation to the system's validation probe.
+func (r *Reg) notify() {
+	if pr := r.sys.Probe(); pr != nil {
+		pr.ObjectEvent(r)
+	}
+}
+
+// CheckDesc implements coherence.Checkable.
+func (r *Reg) CheckDesc() string {
+	return fmt.Sprintf("reg ring %d @%#x", r.nDesc, r.base)
+}
+
+// CheckInvariants implements coherence.Checkable: the head never passes the
+// tail and the tail never laps the head (the one-slot-gap rule drivers
+// enforce through Space).
+func (r *Reg) CheckInvariants() error {
+	if r.HeadIdx < 0 || r.TailIdx < r.HeadIdx {
+		return fmt.Errorf("head index %d ahead of tail index %d", r.HeadIdx, r.TailIdx)
+	}
+	if used := r.TailIdx - r.HeadIdx; used > r.nDesc-1 {
+		return fmt.Errorf("tail %d laps head %d: %d used slots in a %d-descriptor ring",
+			r.TailIdx, r.HeadIdx, used, r.nDesc)
+	}
+	return nil
+}
 
 // Space returns the number of free descriptor slots for the producer.
 func (r *Reg) Space() int { return r.nDesc - (r.TailIdx - r.HeadIdx) - 1 }
@@ -86,6 +116,7 @@ func (r *Reg) LinesFor(from, count int) []mem.Addr {
 func (r *Reg) Put(i int, b *bufpool.Buf) {
 	r.slots[i%r.nDesc] = b
 	r.done[i%r.nDesc] = false
+	r.notify()
 }
 
 // Get returns the buffer in slot i.
@@ -95,11 +126,15 @@ func (r *Reg) Get(i int) *bufpool.Buf { return r.slots[i%r.nDesc] }
 func (r *Reg) Take(i int) *bufpool.Buf {
 	b := r.slots[i%r.nDesc]
 	r.slots[i%r.nDesc] = nil
+	r.notify()
 	return b
 }
 
 // SetDone marks descriptor i completed (the DD writeback).
-func (r *Reg) SetDone(i int) { r.done[i%r.nDesc] = true }
+func (r *Reg) SetDone(i int) {
+	r.done[i%r.nDesc] = true
+	r.notify()
+}
 
 // Done reports descriptor i's completion flag.
 func (r *Reg) Done(i int) bool { return r.done[i%r.nDesc] }

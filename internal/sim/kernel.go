@@ -39,6 +39,17 @@ var totalEvents atomic.Uint64
 // by wall-clock time give the host simulation rate in events per second.
 func TotalEvents() uint64 { return totalEvents.Load() }
 
+// Probe observes kernel scheduling for online model validation
+// (internal/check). Event fires on slow-path event execution only: the
+// run-next fast path advances the clock by construction (wake = now +
+// non-negative delta), so it needs no monotonicity check and stays free of
+// probe branches. RunEnd fires when Run or RunUntil returns, giving checkers
+// a quiescent point for full validation passes.
+type Probe interface {
+	Event(now Time)
+	RunEnd(now Time)
+}
+
 // Proc is a simulated process. A Proc's function runs on its own goroutine,
 // but the kernel guarantees that at most one process executes at any moment,
 // so processes may freely share model state without synchronization.
@@ -140,6 +151,9 @@ func (p *Proc) park(s procState) {
 					k.now = q.wake
 				}
 				k.events++
+				if k.probe != nil {
+					k.probe.Event(k.now)
+				}
 				if q == p {
 					p.state = procRunning
 					return
@@ -179,7 +193,13 @@ type Kernel struct {
 	// reporting. Compaction keeps it within 2x the live waited-on set.
 	waitEvents []*Event
 	compactAt  int
+
+	// probe is the optional scheduling observer; nil in normal runs.
+	probe Probe
 }
+
+// SetProbe installs (or removes, with nil) the kernel's scheduling probe.
+func (k *Kernel) SetProbe(p Probe) { k.probe = p }
 
 // New creates an empty kernel at time zero.
 func New() *Kernel {
@@ -279,6 +299,9 @@ func (k *Kernel) next() *Proc {
 		k.now = p.wake
 	}
 	k.events++
+	if k.probe != nil {
+		k.probe.Event(k.now)
+	}
 	return p
 }
 
@@ -319,6 +342,9 @@ func (k *Kernel) run(deadline Time) error {
 	if next := k.next(); next != nil {
 		next.resume <- true
 		<-k.baton
+	}
+	if k.probe != nil {
+		k.probe.RunEnd(k.now)
 	}
 	if k.stopped {
 		k.stopped = false
