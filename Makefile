@@ -1,7 +1,9 @@
 # Developer/CI entry points for the CC-NIC reproduction.
 #
-#   make check        tier-1 verify + vet + race (sim) + benchmark smoke
+#   make check        tier-1 verify + lint + vet + race (sim) + benchmark smoke
 #   make verify       tier-1: go build ./... && go test ./...
+#   make lint         cclint static-analysis suite (detlint, yieldlint,
+#                     probelint, alloclint) over every module package
 #   make race         race detector over the one package with real goroutines
 #   make bench-smoke  one-iteration pass over the kernel + headline benches
 #   make bench-json   regenerate the host-perf trajectory file (minutes)
@@ -13,13 +15,18 @@
 
 GO ?= go
 
-.PHONY: check verify vet race bench-smoke bench-json golden-check golden
+.PHONY: check verify lint vet race bench-smoke bench-json golden-check golden
 
-check: verify vet race bench-smoke golden-check
+check: verify lint vet race bench-smoke golden-check
 
 verify:
 	$(GO) build ./...
 	$(GO) test ./...
+
+# Static enforcement of the simulator invariants (DESIGN.md §5): exits
+# nonzero on any determinism, yield-safety, probe-guard, or noalloc finding.
+lint:
+	$(GO) run ./cmd/cclint ./...
 
 vet:
 	$(GO) vet ./...

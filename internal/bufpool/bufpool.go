@@ -68,6 +68,8 @@ type Buf struct {
 func (b *Buf) TotalLen() int { return b.Len + b.ExtLen }
 
 // ResetMeta clears per-packet metadata before reuse.
+//
+//ccnic:noalloc
 func (b *Buf) ResetMeta() {
 	b.Len, b.Seq, b.Born, b.ExtAddr, b.ExtLen = 0, 0, 0, 0, 0
 }
@@ -187,6 +189,8 @@ func (pl *Pool) Shared() bool { return pl.cfg.Shared }
 func (pl *Pool) Outstanding() int { return pl.allocatedBufs }
 
 // notify reports a completed pool mutation to the system's validation probe.
+//
+//ccnic:noalloc
 func (pl *Pool) notify() {
 	if pr := pl.sys.Probe(); pr != nil {
 		pr.ObjectEvent(pl)
@@ -326,6 +330,8 @@ func max(a, b int) int {
 // Alloc allocates one buffer large enough for size payload bytes, charging
 // the calling process for the memory operations involved. It returns nil if
 // the pool is exhausted.
+//
+//ccnic:noalloc
 func (pt *Port) Alloc(p *sim.Proc, size int) *Buf {
 	pl := pt.pool
 	small := pl.cfg.SmallBufs && size <= SmallSize
@@ -336,17 +342,17 @@ func (pt *Port) Alloc(p *sim.Proc, size int) *Buf {
 			stack = &pt.recycleSmall
 		}
 		if n := len(*stack); n > 0 {
+			//ccnic:atomic pop-to-take: the popped buffer must be owned before any yield
 			b := (*stack)[n-1]
 			*stack = (*stack)[:n-1]
-			// Transition before charging: Exec yields, and the pool
-			// must conserve buffers at every yield point.
 			b = pl.take(b)
+			//ccnic:atomic-end the Exec charge below yields; the pool is consistent again
 			pt.agent.Exec(p, stackOpCost) // L1-resident stack pop
 			return b
 		}
 	}
 	// Central pool refill/alloc.
-	return pt.centralAlloc(p, small)
+	return pt.centralAlloc(p, small) //ccnic:alloc-ok central refill is the audited slow path
 }
 
 // centralAlloc pops one buffer (plus a refill batch when recycling) from
@@ -384,6 +390,7 @@ func (pt *Port) centralAlloc(p *sim.Proc, small bool) *Buf {
 	// Mutate the shared structure first: agent operations below yield to
 	// other processes, and the pool must appear atomic to them (the real
 	// structure is updated with a CAS; the charges below model its cost).
+	//ccnic:atomic central-pool pop: lists and ownership settle before the charges yield
 	depth := len(*list) - batch
 	var out *Buf
 	head := &pt.headBig
@@ -415,6 +422,7 @@ func (pt *Port) centralAlloc(p *sim.Proc, small bool) *Buf {
 	// Extra refill entries beyond the first stay free-state on the
 	// recycle stack; only the returned buffer is marked allocated.
 	out = pl.take(out)
+	//ccnic:atomic-end
 	pt.agent.Write(p, pt.lockLine, 8)
 	pt.agent.GatherRead(p, pt.entryLines(depth, batch))
 	return out
@@ -453,14 +461,18 @@ func (pt *Port) steal(p *sim.Proc, small bool) bool {
 		dst = &pt.shardSmall
 	}
 	n := (best + 1) / 2
+	//ccnic:atomic steal: both shards settle before the victim-access charges yield
 	*dst = append(*dst, (*src)[len(*src)-n:]...)
 	*src = (*src)[:len(*src)-n]
+	//ccnic:atomic-end
 	pt.agent.Write(p, victim.lockLine, 8)
 	pt.agent.GatherRead(p, victim.entryLines(len(*src), n))
 	return true
 }
 
 // take transitions a buffer to allocated, enforcing single-allocation.
+//
+//ccnic:noalloc
 func (pl *Pool) take(b *Buf) *Buf {
 	if b.state != stateFree {
 		panic(fmt.Sprintf("bufpool: double allocation of buffer %#x", b.Addr))
@@ -487,6 +499,8 @@ func (pt *Port) AllocBurst(p *sim.Proc, size int, out []*Buf) int {
 
 // Free returns a buffer to the port's recycling stack (spilling half the
 // stack to the central pool when full) or directly to the central pool.
+//
+//ccnic:noalloc
 func (pt *Port) Free(p *sim.Proc, b *Buf) {
 	pl := pt.pool
 	if b.pool != pl {
@@ -495,6 +509,7 @@ func (pt *Port) Free(p *sim.Proc, b *Buf) {
 	if b.state != stateAllocated {
 		panic(fmt.Sprintf("bufpool: double free of buffer %#x", b.Addr))
 	}
+	//ccnic:atomic release-to-push: the freed buffer must be listed before any yield
 	b.state = stateFree
 	pl.allocatedBufs--
 
@@ -504,14 +519,15 @@ func (pt *Port) Free(p *sim.Proc, b *Buf) {
 			stack = &pt.recycleSmall
 		}
 		*stack = append(*stack, b)
+		//ccnic:atomic-end the Exec charge below yields; the pool is consistent again
 		pt.agent.Exec(p, stackOpCost) // L1-resident stack push
 		if len(*stack) > pl.cfg.RecycleDepth {
-			pt.spill(p, stack)
+			pt.spill(p, stack) //ccnic:alloc-ok bounded spill is the audited slow path
 		}
 		pl.notify()
 		return
 	}
-	pt.centralFree(p, []*Buf{b})
+	pt.centralFree(p, []*Buf{b}) //ccnic:alloc-ok non-recycling central free is the audited slow path
 	pl.notify()
 }
 
@@ -534,6 +550,7 @@ func (pt *Port) spill(p *sim.Proc, stack *[]*Buf) {
 // structure accesses.
 func (pt *Port) centralFree(p *sim.Proc, bufs []*Buf) {
 	// Mutate first (see centralAlloc), then charge.
+	//ccnic:atomic central-pool push: lists settle before the charges yield
 	depthBig, depthSmall := len(pt.shardBig), len(pt.shardSmall)
 	nBig, nSmall := 0, 0
 	for _, b := range bufs {
@@ -545,6 +562,7 @@ func (pt *Port) centralFree(p *sim.Proc, bufs []*Buf) {
 			nBig++
 		}
 	}
+	//ccnic:atomic-end
 	pt.agent.Write(p, pt.lockLine, 8)
 	if nBig > 0 {
 		pt.agent.ScatterWrite(p, pt.entryLines(depthBig, nBig))

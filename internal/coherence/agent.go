@@ -603,6 +603,7 @@ func (a *Agent) Flush(p *sim.Proc, addr mem.Addr, size int) sim.Time {
 }
 
 // Exec charges plain CPU execution time (instructions that do not miss).
+//ccnic:noalloc
 func (a *Agent) Exec(p *sim.Proc, d sim.Time) { p.Sleep(d) }
 
 // trainPrefetch feeds the stride detector and issues a hardware prefetch of

@@ -100,6 +100,8 @@ func (c *Cache) Socket() int { return c.socket }
 func (c *Cache) Len() int { return len(c.lines) }
 
 // get returns the entry for line and promotes it to most-recent, or nil.
+//
+//ccnic:noalloc
 func (c *Cache) get(line mem.Addr) *entry {
 	e := c.lines[line]
 	if e != nil {
@@ -110,6 +112,8 @@ func (c *Cache) get(line mem.Addr) *entry {
 }
 
 // peek returns the entry without touching recency.
+//
+//ccnic:noalloc
 func (c *Cache) peek(line mem.Addr) *entry { return c.lines[line] }
 
 // insertMiss adds a line in the given state, evicting the LRU line if full.
@@ -117,6 +121,8 @@ func (c *Cache) peek(line mem.Addr) *entry { return c.lines[line] }
 // returning nil) and must have updated the directory for the inserted line;
 // insertMiss handles directory maintenance for the victim only. Residency
 // changes to an already-present line go through touch instead.
+//
+//ccnic:noalloc
 func (c *Cache) insertMiss(line mem.Addr, st State) {
 	for len(c.lines) >= c.capAct {
 		c.evictLRU()
@@ -130,6 +136,8 @@ func (c *Cache) insertMiss(line mem.Addr, st State) {
 // touch updates a resident line's state in place and refreshes its recency,
 // reporting whether the line was resident. It replaces drop+insert pairs,
 // which cost three map operations and an entry recycle.
+//
+//ccnic:noalloc
 func (c *Cache) touch(line mem.Addr, st State) bool {
 	e := c.get(line)
 	if e == nil {
@@ -140,10 +148,12 @@ func (c *Cache) touch(line mem.Addr, st State) bool {
 }
 
 // alloc takes an entry from the freelist or allocates a fresh one.
+//
+//ccnic:noalloc
 func (c *Cache) alloc() *entry {
 	e := c.free
 	if e == nil {
-		return &entry{}
+		return &entry{} //ccnic:alloc-ok freelist warm-up; steady state recycles
 	}
 	c.free = e.next
 	e.next = nil
@@ -151,6 +161,8 @@ func (c *Cache) alloc() *entry {
 }
 
 // recycle pushes an unlinked entry onto the freelist.
+//
+//ccnic:noalloc
 func (c *Cache) recycle(e *entry) {
 	e.prev = nil
 	e.next = c.free
@@ -158,6 +170,8 @@ func (c *Cache) recycle(e *entry) {
 }
 
 // drop removes a line without writeback bookkeeping (invalidation).
+//
+//ccnic:noalloc
 func (c *Cache) drop(line mem.Addr) {
 	if e := c.lines[line]; e != nil {
 		c.unlink(e)
@@ -168,6 +182,8 @@ func (c *Cache) drop(line mem.Addr) {
 
 // evictLRU removes the least-recently-used line, handing dirty victims to
 // the system's writeback path.
+//
+//ccnic:noalloc
 func (c *Cache) evictLRU() {
 	e := c.head.prev
 	if e == &c.head {
@@ -180,6 +196,7 @@ func (c *Cache) evictLRU() {
 	c.sys.evicted(c, line, st)
 }
 
+//ccnic:noalloc
 func (c *Cache) pushFront(e *entry) {
 	e.next = c.head.next
 	e.prev = &c.head
@@ -187,6 +204,7 @@ func (c *Cache) pushFront(e *entry) {
 	c.head.next = e
 }
 
+//ccnic:noalloc
 func (c *Cache) unlink(e *entry) {
 	e.prev.next = e.next
 	e.next.prev = e.prev

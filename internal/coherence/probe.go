@@ -50,9 +50,13 @@ var AutoAttach func(*System)
 func (s *System) SetProbe(p Probe) { s.probe = p }
 
 // Probe returns the installed validation probe, or nil.
+//
+//ccnic:noalloc
 func (s *System) Probe() Probe { return s.probe }
 
 // lineEvent notifies the probe of a completed line-state mutation.
+//
+//ccnic:noalloc
 func (s *System) lineEvent(line mem.Addr) {
 	if s.probe != nil {
 		s.probe.LineEvent(line)

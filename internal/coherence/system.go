@@ -140,6 +140,7 @@ func (s *System) NewAgent(socket int, name string) *Agent {
 // ent returns (creating if needed) the directory entry for a line. Entries
 // come from the freelist when possible, so line churn (ring buffers cycling
 // through the address space) allocates nothing in steady state.
+//ccnic:noalloc
 func (s *System) ent(line mem.Addr) *dirEntry {
 	d := s.dir[line]
 	if d == nil {
@@ -148,7 +149,7 @@ func (s *System) ent(line mem.Addr) *dirEntry {
 			d.nextFree = nil
 			d.pendingUntil = 0 // owner/sharers already cleared by gc
 		} else {
-			d = &dirEntry{}
+			d = &dirEntry{} //ccnic:alloc-ok freelist warm-up; steady state recycles
 		}
 		s.dir[line] = d
 	}
@@ -156,6 +157,8 @@ func (s *System) ent(line mem.Addr) *dirEntry {
 }
 
 // gc removes an empty directory entry and recycles it.
+//
+//ccnic:noalloc
 func (s *System) gc(line mem.Addr, d *dirEntry) {
 	if d.owner == nil && len(d.sharers) == 0 {
 		delete(s.dir, line)
@@ -164,6 +167,7 @@ func (s *System) gc(line mem.Addr, d *dirEntry) {
 	}
 }
 
+//ccnic:noalloc
 func (d *dirEntry) removeSharer(c *Cache) {
 	for i, sc := range d.sharers {
 		if sc == c {
@@ -190,6 +194,7 @@ func (d *dirEntry) hasRemote(sock int) bool {
 // evicted handles a victim leaving cache c. L2 victims (clean or dirty)
 // move into the socket's LLC; LLC dirty victims write back to the home
 // memory, crossing the link if homed remotely.
+//ccnic:noalloc
 func (s *System) evicted(c *Cache, line mem.Addr, st State) {
 	d := s.ent(line)
 	if c.isLLC {
@@ -220,6 +225,7 @@ func (s *System) evicted(c *Cache, line mem.Addr, st State) {
 	llc.insertMiss(line, st)
 }
 
+//ccnic:noalloc
 func (d *dirEntry) holds(c *Cache) bool {
 	if d.owner == c {
 		return true

@@ -80,6 +80,7 @@ func register(e *Experiment) {
 // All returns every experiment sorted by ID.
 func All() []*Experiment {
 	out := make([]*Experiment, 0, len(registry))
+	//ccnic:nondet-ok sorted-collect: the slice is fully ordered by ID below
 	for _, e := range registry {
 		out = append(out, e)
 	}
@@ -148,6 +149,7 @@ func parallel(n int, fn func(i int)) {
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//ccnic:nondet-ok deterministic fan-out: each point builds its own kernel
 		go func() {
 			defer wg.Done()
 			for i := range next {

@@ -29,11 +29,11 @@ func Measure(e *Experiment, opt Options) (*Report, HostCost) {
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	ev0 := sim.TotalEvents()
-	start := time.Now()
+	start := time.Now() //ccnic:nondet-ok host-side measurement, never model input
 
 	r := e.Run(opt)
 
-	wall := time.Since(start)
+	wall := time.Since(start) //ccnic:nondet-ok host-side measurement, never model input
 	events := sim.TotalEvents() - ev0
 	runtime.ReadMemStats(&m1)
 

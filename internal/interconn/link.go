@@ -48,6 +48,8 @@ func New(bytesPerNs float64, header, ctrlMsg int) *Link {
 func (l *Link) Bandwidth() float64 { return l.bytesPerNs }
 
 // serialize converts a wire size to link occupancy time.
+//
+//ccnic:noalloc
 func (l *Link) serialize(wireBytes int) sim.Time {
 	return sim.Time(float64(wireBytes) / l.bytesPerNs * float64(sim.Nanosecond))
 }
@@ -55,6 +57,8 @@ func (l *Link) serialize(wireBytes int) sim.Time {
 // Data reserves link time for a data-carrying message of payloadBytes in the
 // given direction, returning the queueing delay experienced before the
 // message can start. Protocol header overhead is added automatically.
+//
+//ccnic:noalloc
 func (l *Link) Data(now sim.Time, dir Direction, payloadBytes int) sim.Time {
 	wire := payloadBytes + l.header
 	l.stats.DataBytes[dir] += int64(payloadBytes)
@@ -113,6 +117,7 @@ func (d Direction) Opposite() Direction { return 1 - d }
 
 // DirFromTo returns the link direction for a transfer from socket src to
 // socket dst. The sockets must differ.
+//ccnic:noalloc
 func DirFromTo(src, dst int) Direction {
 	if src == dst {
 		panic("interconn: same-socket transfer does not use the link")

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// yieldRoots are the kernel's blocking primitives: any function that can
+// reach one of these on some path may yield control to another simulated
+// process mid-body. coherence.Agent.Exec is listed explicitly even though it
+// delegates to Proc.Sleep, so the root set does not silently shrink if its
+// body changes shape.
+var yieldRoots = map[string]bool{
+	"(*ccnic/internal/sim.Proc).Sleep": true,
+	"(*ccnic/internal/sim.Proc).Wait":  true,
+	"(*ccnic/internal/sim.Proc).Yield": true,
+	"(*ccnic/internal/coherence.Agent).Exec": true,
+}
+
+// YieldSet computes (once) the transitive set of yielding functions over the
+// loaded program's static call graph. Roots are yieldRoots plus any function
+// annotated //ccnic:yields. Calls through function values and interface
+// methods are not resolved (a stored callback that yields must be annotated
+// at its declaration); function literals are attributed to their enclosing
+// declaration, which over-approximates closures that are defined but not
+// called in place.
+func (pr *Program) YieldSet() map[*types.Func]bool {
+	if pr.yields != nil {
+		return pr.yields
+	}
+	yields := map[*types.Func]bool{}
+	callers := map[*types.Func][]*types.Func{}
+	var work []*types.Func
+
+	mark := func(fn *types.Func) {
+		if !yields[fn] {
+			yields[fn] = true
+			work = append(work, fn)
+		}
+	}
+
+	for _, pkg := range pr.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if yieldRoots[fn.FullName()] || pr.FuncAnnotated(pkg, fd, AnnotYields) {
+					mark(fn)
+				}
+				if fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := calleeOf(pkg.Info, call); callee != nil {
+						callers[callee] = append(callers[callee], fn)
+						if yieldRoots[callee.FullName()] {
+							mark(callee)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, caller := range callers[fn] {
+			mark(caller)
+		}
+	}
+	pr.yields = yields
+	return yields
+}
+
+// YieldChain returns a human-readable witness path from fn to a yield root,
+// e.g. "Free -> Exec -> Sleep". fn must be in YieldSet.
+func (pr *Program) YieldChain(fn *types.Func) string {
+	yields := pr.YieldSet()
+	var parts []string
+	seen := map[*types.Func]bool{}
+	for fn != nil && !seen[fn] {
+		seen[fn] = true
+		parts = append(parts, fn.Name())
+		if yieldRoots[fn.FullName()] {
+			break
+		}
+		fn = pr.yieldWitness(fn, yields, seen)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// yieldWitness finds one yielding callee of fn not yet on the chain.
+func (pr *Program) yieldWitness(fn *types.Func, yields map[*types.Func]bool, seen map[*types.Func]bool) *types.Func {
+	fd := pr.DeclOf(fn)
+	if fd == nil || fd.Body == nil {
+		return nil
+	}
+	var found *types.Func
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg := pr.byPath[fn.Pkg().Path()]
+		if pkg == nil {
+			return true
+		}
+		if callee := calleeOf(pkg.Info, call); callee != nil && yields[callee] && !seen[callee] {
+			found = callee
+		}
+		return true
+	})
+	return found
+}
+
+// calleeOf statically resolves a call's target function or method, or nil
+// for builtins, conversions, and calls through function values.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Detlint forbids nondeterminism sources in non-test simulator code. The
+// model's credibility rests on bit-identical determinism (the golden
+// regression and run-twice property tests), so anything that could vary
+// between runs must be flagged at compile time:
+//
+//   - wall-clock time (time.Now and friends),
+//   - the process-global math/rand stream (seeded *rand.Rand values are
+//     fine; the global functions are not),
+//   - goroutine spawning outside internal/sim (the kernel owns all
+//     concurrency; stray goroutines race the deterministic schedule),
+//   - map-range iteration that feeds ordered state or output (appends to an
+//     outer slice, channel sends, or formatted printing inside the loop).
+//
+// Audited exceptions carry //ccnic:nondet-ok with a rationale: host-side
+// performance measurement may read the wall clock, and the experiment
+// harness may fan out self-contained simulations to worker goroutines.
+var Detlint = &Analyzer{
+	Name: "detlint",
+	Doc:  "forbid nondeterminism sources (wall clock, global rand, stray goroutines, ordered map iteration) in simulator code",
+	Run:  runDetlint,
+}
+
+// wallClockFuncs are time-package functions that observe or depend on the
+// host clock.
+var wallClockFuncs = map[string]bool{
+	"time.Now": true, "time.Since": true, "time.Until": true,
+	"time.After": true, "time.Tick": true, "time.Sleep": true,
+	"time.NewTimer": true, "time.NewTicker": true, "time.AfterFunc": true,
+}
+
+// seededRandFuncs are math/rand package-level constructors that do not touch
+// the global stream.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+	"NewZipf": true, "NewExp": true, "NewNorm": true,
+}
+
+// driverPackage reports whether path is a command or example driver, where
+// wall clocks and ad-hoc goroutines are legitimate (drivers frame the
+// simulation; they are not the simulation).
+func driverPackage(path string) bool {
+	return strings.HasPrefix(path, "ccnic/cmd/") ||
+		strings.HasPrefix(path, "ccnic/examples/") ||
+		path == "ccnic/cmd" || path == "ccnic/examples"
+}
+
+func runDetlint(pass *Pass) error {
+	if driverPackage(pass.Pkg.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDetCall(pass, n)
+			case *ast.GoStmt:
+				if pass.Pkg.Path != "ccnic/internal/sim" &&
+					!pass.Prog.Suppressed(pass.Pkg, n.Pos(), AnnotNondetOK) {
+					pass.Report(n.Pos(), "goroutine spawned outside internal/sim: the kernel owns all concurrency (annotate //ccnic:nondet-ok if the fan-out is deterministic)")
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if wallClockFuncs[fn.FullName()] {
+		if !pass.Prog.Suppressed(pass.Pkg, call.Pos(), AnnotNondetOK) {
+			pass.Report(call.Pos(), "%s reads the host wall clock; use the simulated clock (sim.Time) or annotate //ccnic:nondet-ok for host-side measurement", fn.FullName())
+		}
+		return
+	}
+	pkgPath := fn.Pkg().Path()
+	if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") &&
+		fn.Type().(*types.Signature).Recv() == nil && !seededRandFuncs[fn.Name()] {
+		if !pass.Prog.Suppressed(pass.Pkg, call.Pos(), AnnotNondetOK) {
+			pass.Report(call.Pos(), "%s draws from the process-global random stream; thread a seeded *rand.Rand through instead", fn.FullName())
+		}
+	}
+}
+
+// checkMapRange flags `for ... range m` over a map when the body feeds
+// ordered state or output: appends to a slice declared outside the loop,
+// sends on a channel, or prints. Go randomizes map iteration order, so every
+// such loop is a latent determinism bug unless the result is sorted —
+// annotate the sorted-collect idiom with //ccnic:nondet-ok.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if pass.Prog.Suppressed(pass.Pkg, rng.Pos(), AnnotNondetOK) {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Report(n.Pos(), "channel send inside map iteration: map order is randomized; iterate a sorted copy or annotate //ccnic:nondet-ok")
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rng, n)
+		case *ast.CallExpr:
+			if fn := calleeOf(pass.TypesInfo, n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+				pass.Report(n.Pos(), "%s inside map iteration: map order is randomized; iterate a sorted copy or annotate //ccnic:nondet-ok", fn.FullName())
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags appends (and += string builds) that accumulate
+// map-ordered elements into state declared outside the loop.
+func checkMapRangeAssign(pass *Pass, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(as.Lhs) <= i {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		if declaredOutside(pass, as.Lhs[i], rng) {
+			pass.Report(as.Pos(), "append to %s inside map iteration feeds map-ordered elements into outer state; iterate a sorted copy or annotate //ccnic:nondet-ok", types.ExprString(as.Lhs[i]))
+		}
+	}
+}
+
+// declaredOutside reports whether the assignment target lives outside the
+// range statement (a selector or index always does; an identifier does when
+// its declaration precedes the loop).
+func declaredOutside(pass *Pass, target ast.Expr, rng *ast.RangeStmt) bool {
+	id, ok := ast.Unparen(target).(*ast.Ident)
+	if !ok {
+		return true
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() >= rng.End()
+}

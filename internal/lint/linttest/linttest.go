@@ -1,0 +1,104 @@
+// Package linttest runs internal/lint analyzers over source fixtures and
+// checks their diagnostics against the fixtures' expectations, in the style
+// of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory of Go files (conventionally under testdata/) that
+// may import only the standard library. Lines that should trigger a
+// diagnostic carry a trailing comment of the form
+//
+//	// want "regexp"
+//
+// where the quoted pattern (which may not contain a double quote) must match
+// the diagnostic's message. Run fails the test if any diagnostic has no
+// matching want on its line, or any want matches no diagnostic — so a
+// fixture with no want comments asserts the analyzers stay silent.
+package linttest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ccnic/internal/lint"
+)
+
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads dir as a single-package fixture, applies the analyzers, and
+// reports any mismatch between their diagnostics and the fixture's want
+// comments. It returns the diagnostics for additional assertions.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	prog, err := lint.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := lint.Run(prog, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	wants := parseWants(t, dir)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+	return diags
+}
+
+// parseWants scans the fixture's Go files for want comments.
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*want
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, m[1], err)
+				}
+				wants = append(wants, &want{file: e.Name(), line: i + 1, re: re, raw: m[1]})
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unmatched want covering d as hit.
+func claim(wants []*want, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line &&
+			w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+// Package detbad reproduces the nondeterminism shapes the repository's model
+// packages used before they were fixed: kvstore measured operation latency
+// with the host wall clock, and traffic drew keys from the process-global
+// random stream. detlint must flag every one of them.
+package detbad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// opLatency is the pre-fix kvstore shape: latency stamped with the host
+// clock instead of the simulated one, so measured values vary run to run.
+func opLatency() float64 {
+	start := time.Now() // want "reads the host wall clock"
+	work()
+	return time.Since(start).Seconds() // want "reads the host wall clock"
+}
+
+// nextKey is the pre-fix traffic shape: keys drawn from the global stream,
+// which is seeded differently every process start.
+func nextKey(n int) int {
+	return rand.Intn(n) // want "process-global random stream"
+}
+
+func work() {}
+
+// spawn races the deterministic schedule: only the simulation kernel may own
+// concurrency.
+func spawn() {
+	go work() // want "goroutine spawned outside internal/sim"
+}
+
+type registry struct{ byID map[string]int }
+
+// dump feeds map-ordered elements into ordered state and output three ways.
+func (r *registry) dump(sink []int, ch chan int) []int {
+	for _, v := range r.byID {
+		sink = append(sink, v) // want "append to sink inside map iteration"
+		ch <- v                // want "channel send inside map iteration"
+		fmt.Println(v)         // want "fmt.Println inside map iteration"
+	}
+	return sink
+}

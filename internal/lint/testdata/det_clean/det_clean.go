@@ -1,0 +1,48 @@
+// Package detclean exercises the deterministic idioms detlint must accept
+// without any finding: seeded random streams, simulated clocks, the
+// annotated sorted-collect map drain, and the annotated deterministic
+// fan-out.
+package detclean
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// clock is a simulated time source; advancing it is pure arithmetic.
+type clock struct{ now int64 }
+
+func (c *clock) tick(d int64) int64 { c.now += d; return c.now }
+
+// seeded threads an explicit source — the post-fix kvstore/traffic shape.
+// Methods on a seeded *rand.Rand are deterministic per seed.
+func seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// sortedCollect is the audited map-drain idiom: the collected slice is fully
+// ordered before anything consumes it.
+func sortedCollect(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//ccnic:nondet-ok sorted-collect: fully ordered below
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fanOut mirrors the experiment harness's worker pool: each index is
+// self-contained, so the interleaving cannot reach model output.
+func fanOut(n int, fn func(int)) {
+	done := make(chan struct{})
+	//ccnic:nondet-ok deterministic fan-out: each index is self-contained
+	go func() {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		close(done)
+	}()
+	<-done
+}

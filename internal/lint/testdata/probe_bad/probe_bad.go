@@ -1,0 +1,35 @@
+// Package probebad calls validation hooks without dominating nil guards.
+// The hooks are nil in every production run, so each of these calls is a
+// panic waiting for checks to be disabled.
+package probebad
+
+// Probe is an optional validation hook, nil unless a checker is attached.
+type Probe interface {
+	Event(kind int)
+}
+
+type sys struct{ probe Probe }
+
+// mutate has no guard at all.
+func (s *sys) mutate() {
+	s.probe.Event(1) // want "not nil-guarded"
+}
+
+// disjunct guards with ||, which does not dominate the call: the left
+// operand alone can take the branch with a nil hook.
+func (s *sys) disjunct(checks bool) {
+	if checks || s.probe != nil {
+		s.probe.Event(2) // want "not nil-guarded"
+	}
+}
+
+// deferred guards outside a closure; the closure may run later, after the
+// hook changed, so the guard does not dominate the inner call.
+func (s *sys) deferred() func() {
+	if s.probe != nil {
+		return func() {
+			s.probe.Event(3) // want "not nil-guarded"
+		}
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+// Package probeclean shows the accepted probe-guard idioms: a direct nil
+// check, an && conjunct, and an early-exit guard earlier in the block.
+package probeclean
+
+// Probe is an optional validation hook.
+type Probe interface {
+	Event(kind int)
+}
+
+type sys struct{ probe Probe }
+
+func (s *sys) direct() {
+	if s.probe != nil {
+		s.probe.Event(1)
+	}
+}
+
+func (s *sys) conjunct(hot bool) {
+	if hot && s.probe != nil {
+		s.probe.Event(2)
+	}
+}
+
+func (s *sys) earlyExit() {
+	if s.probe == nil {
+		return
+	}
+	s.probe.Event(3)
+	s.probe.Event(4)
+}

@@ -1,0 +1,37 @@
+// Package yieldclean is the fixed bufpool fast path: the pool is consistent
+// before any yielding call runs, and non-yielding helpers inside the atomic
+// region are accepted.
+package yieldclean
+
+type buf struct{ state int }
+
+type pool struct {
+	stack []*buf
+	owned int
+}
+
+// sleep stands in for sim.Proc.Sleep.
+//
+//ccnic:yields
+func sleep(d int64) { _ = d }
+
+// exec stands in for coherence.Agent.Exec.
+func exec(d int64) { sleep(d) }
+
+// note is a non-yielding helper; calling it mid-region is fine.
+func note(b *buf) { _ = b }
+
+func (p *pool) alloc() *buf {
+	if n := len(p.stack); n > 0 {
+		//ccnic:atomic pop-to-take: no yield until the buffer is owned
+		b := p.stack[n-1]
+		p.stack = p.stack[:n-1]
+		b.state = 1
+		p.owned++
+		note(b)
+		//ccnic:atomic-end the charge below may yield; the pool is consistent
+		exec(1)
+		return b
+	}
+	return nil
+}

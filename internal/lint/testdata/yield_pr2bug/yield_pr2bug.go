@@ -1,0 +1,47 @@
+// Package yieldpr2bug reproduces the PR 2 bufpool conservation bug with its
+// fix reverted: the recycle fast path charges simulated time — a yield —
+// between popping a buffer off the free stack and marking it owned, so
+// another process can observe a buffer that is neither free nor owned.
+// yieldlint must re-find the bug from the //ccnic:atomic annotation alone.
+package yieldpr2bug
+
+type buf struct{ state int }
+
+type pool struct {
+	stack []*buf
+	owned int
+}
+
+// sleep stands in for sim.Proc.Sleep, the kernel's blocking primitive.
+//
+//ccnic:yields
+func sleep(d int64) { _ = d }
+
+// exec stands in for coherence.Agent.Exec: it yields transitively, which the
+// call-graph walk must discover without an annotation here.
+func exec(d int64) { sleep(d) }
+
+// alloc is the reverted fast path.
+func (p *pool) alloc() *buf {
+	if n := len(p.stack); n > 0 {
+		//ccnic:atomic pop-to-take: the popped buffer must be owned before any yield
+		b := p.stack[n-1]
+		p.stack = p.stack[:n-1]
+		exec(1) // want "call to yielding function exec inside"
+		b.state = 1
+		p.owned++
+		//ccnic:atomic-end
+		return b
+	}
+	return nil
+}
+
+// drain exercises the function-level annotation: the whole body is atomic.
+//
+//ccnic:atomic
+func (p *pool) drain() {
+	for len(p.stack) > 0 {
+		p.stack = p.stack[:len(p.stack)-1]
+		sleep(1) // want "call to yielding function sleep inside"
+	}
+}

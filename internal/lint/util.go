@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inspectWithStack walks root like ast.Inspect, additionally passing the
+// stack of ancestor nodes (outermost first, not including n itself).
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// isInterfaceType reports whether t's underlying type is an interface.
+func isInterfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// pointerShaped reports whether values of t fit a single pointer word, so
+// converting them to an interface stores the value directly and does not
+// heap-allocate: pointers, channels, maps, functions, and unsafe.Pointer.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

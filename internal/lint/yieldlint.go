@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Yieldlint flags calls to (transitively) yielding functions inside
+// //ccnic:atomic regions. The simulation kernel interleaves processes only
+// at yield points (Proc.Sleep/Wait/Yield and everything built on them, like
+// coherence.Agent's charge methods), so shared model structures must be
+// consistent whenever a yielding call executes. A region annotated
+// //ccnic:atomic asserts "no interleaving happens here": typically the span
+// between popping a resource off a free structure and marking it owned.
+//
+// This is the static form of the conservation bug PR 2's runtime engine
+// caught in bufpool: the recycle fast path yielded (via Agent.Exec) between
+// the stack pop and the take() transition, leaving a buffer unowned and
+// unlisted mid-yield. With the pop-to-take span annotated, that defect is a
+// compile-time diagnostic instead of a throttled runtime scan's finding.
+var Yieldlint = &Analyzer{
+	Name: "yieldlint",
+	Doc:  "flag yielding calls inside //ccnic:atomic critical regions",
+	Run:  runYieldlint,
+}
+
+func runYieldlint(pass *Pass) error {
+	yields := pass.Prog.YieldSet()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			regions := pass.Prog.AtomicRegions(pass.Pkg, fd)
+			if len(regions) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeOf(pass.TypesInfo, call)
+				if callee == nil || !yields[callee] {
+					return true
+				}
+				for _, r := range regions {
+					if r.contains(call.Pos()) {
+						pass.Report(call.Pos(), "call to yielding function %s inside //ccnic:atomic region (%s): the structure is inconsistent at this yield point", callee.Name(), pass.Prog.YieldChain(callee))
+						break
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

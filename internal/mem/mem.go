@@ -24,9 +24,12 @@ const homeBit = 40
 const base Addr = 1 << 20
 
 // Home returns the socket (0 or 1) whose memory controller owns the address.
+//ccnic:noalloc
 func Home(a Addr) int { return int(a>>homeBit) & 1 }
 
 // LineOf returns the address of the cache line containing a.
+//
+//ccnic:noalloc
 func LineOf(a Addr) Addr { return a &^ (LineSize - 1) }
 
 // LineCount returns how many cache lines the region [a, a+size) touches.

@@ -7,9 +7,12 @@ type procHeap struct {
 	a []*Proc
 }
 
+//ccnic:noalloc
 func (h *procHeap) len() int { return len(h.a) }
 
 // lessProc orders by (wake, seq): earlier wake first, FIFO among equals.
+//
+//ccnic:noalloc
 func lessProc(a, b *Proc) bool {
 	if a.wake != b.wake {
 		return a.wake < b.wake
@@ -17,8 +20,10 @@ func lessProc(a, b *Proc) bool {
 	return a.seq < b.seq
 }
 
+//ccnic:noalloc
 func (h *procHeap) less(i, j int) bool { return lessProc(h.a[i], h.a[j]) }
 
+//ccnic:noalloc
 func (h *procHeap) push(p *Proc) {
 	h.a = append(h.a, p)
 	i := len(h.a) - 1
@@ -32,6 +37,7 @@ func (h *procHeap) push(p *Proc) {
 	}
 }
 
+//ccnic:noalloc
 func (h *procHeap) pop() *Proc {
 	if len(h.a) == 0 {
 		return nil
@@ -45,6 +51,7 @@ func (h *procHeap) pop() *Proc {
 	return top
 }
 
+//ccnic:noalloc
 func (h *procHeap) siftDown(i int) {
 	n := len(h.a)
 	for {
@@ -67,6 +74,8 @@ func (h *procHeap) siftDown(i int) {
 // pushpop pushes p and pops the minimum of heap ∪ {p} in a single sift —
 // half the work of a push followed by a pop, and no heap movement at all
 // when p itself is the minimum. It is the kernel park path's common case.
+//
+//ccnic:noalloc
 func (h *procHeap) pushpop(p *Proc) *Proc {
 	if len(h.a) == 0 || lessProc(p, h.a[0]) {
 		return p
@@ -78,6 +87,8 @@ func (h *procHeap) pushpop(p *Proc) *Proc {
 }
 
 // peek returns the earliest process without removing it, or nil.
+//
+//ccnic:noalloc
 func (h *procHeap) peek() *Proc {
 	if len(h.a) == 0 {
 		return nil

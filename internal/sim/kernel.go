@@ -79,6 +79,8 @@ func (p *Proc) Now() Time { return p.k.now }
 
 // Sleep advances virtual time for this process by d, yielding to any other
 // process scheduled earlier. Negative durations are treated as zero.
+//
+//ccnic:noalloc
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
@@ -89,10 +91,14 @@ func (p *Proc) Sleep(d Time) {
 
 // Yield reschedules the process at the current time, behind every other
 // process already scheduled at this time.
+//
+//ccnic:noalloc
 func (p *Proc) Yield() { p.Sleep(0) }
 
 // Wait blocks until ev is signaled. Waiters resume in FIFO order at the
 // virtual time of the Signal call.
+//
+//ccnic:noalloc
 func (p *Proc) Wait(ev *Event) {
 	k := ev.k
 	ev.waiters = append(ev.waiters, p)
@@ -115,6 +121,8 @@ func (p *Proc) Wait(ev *Event) {
 // scheduling runs inline on the parking goroutine, so a park-resume cycle
 // costs at most one blocking channel handoff — and none at all when the
 // parking process is itself the next to run.
+//
+//ccnic:noalloc
 func (p *Proc) park(s procState) {
 	k := p.k
 	p.state = s
@@ -211,6 +219,7 @@ func New() *Kernel {
 }
 
 // Now returns the current virtual time.
+//ccnic:noalloc
 func (k *Kernel) Now() Time { return k.now }
 
 // Live returns the number of spawned processes that have not finished.
@@ -264,6 +273,8 @@ func (k *Kernel) finish(p *Proc) {
 
 // handoff transfers execution to next, or returns the baton to the Run
 // caller when the run is over.
+//
+//ccnic:noalloc
 func (k *Kernel) handoff(next *Proc) {
 	if next != nil {
 		next.resume <- true
@@ -275,6 +286,8 @@ func (k *Kernel) handoff(next *Proc) {
 // next pops the next process to run and advances the clock, or returns nil
 // when the run is over (stop, deadline reached, completion, or deadlock —
 // the caller classifies from kernel state).
+//
+//ccnic:noalloc
 func (k *Kernel) next() *Proc {
 	if k.stopped {
 		return nil
@@ -306,6 +319,8 @@ func (k *Kernel) next() *Proc {
 }
 
 // push schedules p on the run queue at p.wake.
+//
+//ccnic:noalloc
 func (k *Kernel) push(p *Proc) {
 	k.seq++
 	p.seq = k.seq
@@ -418,6 +433,8 @@ func (k *Kernel) abort(p *Proc) {
 
 // compactWaitEvents drops events that no longer have waiters and doubles the
 // next compaction threshold, bounding the tracked set to 2x the live one.
+//
+//ccnic:noalloc
 func (k *Kernel) compactWaitEvents() {
 	kept := k.waitEvents[:0]
 	for _, ev := range k.waitEvents {
@@ -455,6 +472,8 @@ func (k *Kernel) NewEvent(name string) *Event {
 // Signal wakes all processes currently waiting on the event. They resume at
 // the current virtual time, in the order they began waiting. Safe to call
 // when there are no waiters.
+//
+//ccnic:noalloc
 func (ev *Event) Signal() {
 	for _, p := range ev.waiters {
 		p.wake = ev.k.now

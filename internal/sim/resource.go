@@ -17,6 +17,8 @@ type Resource struct {
 // Acquire sits on the simulator's per-message hot path (every interconnect
 // and PCIe transfer funnels through it) and must stay allocation-free; the
 // idle case falls through with a single compare.
+//
+//ccnic:noalloc
 func (r *Resource) Acquire(now, hold Time) (delay Time) {
 	if hold < 0 {
 		hold = 0

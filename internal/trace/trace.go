@@ -161,6 +161,7 @@ func (t *Tracer) Slowest(n int) []int64 {
 		d   sim.Time
 	}
 	var all []tot
+	//ccnic:nondet-ok sorted-collect: totally ordered below by (duration, seq)
 	for _, r := range t.records {
 		if r.set[Born] && r.set[Received] {
 			all = append(all, tot{r.seq, r.at[Received] - r.at[Born]})
