@@ -5,7 +5,10 @@
 #   make lint         cclint static-analysis suite (detlint, yieldlint,
 #                     probelint, alloclint) over every module package
 #   make race         race detector over the one package with real goroutines
-#   make bench-smoke  one-iteration pass over the kernel + headline benches
+#   make bench-smoke  one-iteration pass over the kernel + headline benches,
+#                     then a >3x regression gate vs BENCH_PR1.json (benchgate)
+#   make faults       quick fault matrix: property harness, recovery-path
+#                     tests, and fault experiments with invariants attached
 #   make bench-json   regenerate the host-perf trajectory file (minutes)
 #   make golden-check full suite with online invariant checks, diffed against
 #                     the committed golden transcript (minutes)
@@ -15,9 +18,9 @@
 
 GO ?= go
 
-.PHONY: check verify lint vet race bench-smoke bench-json golden-check golden
+.PHONY: check verify lint vet race bench-smoke faults bench-json golden-check golden
 
-check: verify lint vet race bench-smoke golden-check
+check: verify lint vet race bench-smoke faults golden-check
 
 verify:
 	$(GO) build ./...
@@ -36,6 +39,16 @@ race:
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Kernel|LoopbackCCNIC' -benchtime 1x .
+	$(GO) run ./cmd/benchgate
+
+# Quick local fault matrix: every armed class against the invariant engine,
+# the directed recovery-path tests, and the faults experiment family. The
+# full seed x class grid runs in CI (fault-matrix job).
+faults:
+	$(GO) test -count=1 ./internal/fault/
+	$(GO) test -count=1 -run 'Fault' ./internal/check/prop/
+	$(GO) test -count=1 -run 'Retransmit|Stall' ./internal/rpcstack/ ./internal/kvstore/
+	$(GO) run ./cmd/ccbench -quick -check -faults all=0.01 faults-rate faults-recovery > /dev/null
 
 bench-json:
 	$(GO) run ./cmd/ccbench -all -json BENCH_PR1.json

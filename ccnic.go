@@ -32,6 +32,7 @@ import (
 	"ccnic/internal/bufpool"
 	"ccnic/internal/coherence"
 	"ccnic/internal/device"
+	"ccnic/internal/fault"
 	"ccnic/internal/loopback"
 	"ccnic/internal/platform"
 	"ccnic/internal/sim"
@@ -119,7 +120,29 @@ type Config struct {
 	// UPI optionally overrides the coherent interface design point for
 	// ablations (Figs 14, 15). Ignored by PCIe interfaces.
 	UPI *device.UPIConfig
+
+	// Faults optionally arms a deterministic fault-injection plan (see
+	// internal/fault). Nil falls back to the package default set by
+	// SetDefaultFaults; an unarmed plan injects nothing and leaves every
+	// transcript byte-identical to a fault-free run.
+	Faults *fault.Plan
 }
+
+// defaultFaults is applied to testbeds whose Config.Faults is nil; set
+// by SetDefaultFaults (the -faults command-line path).
+var defaultFaults *fault.Plan
+
+// SetDefaultFaults arms plan on every subsequently built testbed whose
+// Config leaves Faults nil. Pass nil to disarm. Commands use this to
+// honor a -faults flag without threading the plan through every
+// experiment; ccbench refuses to combine it with golden comparisons.
+func SetDefaultFaults(plan *fault.Plan) { defaultFaults = plan }
+
+// FaultPlan re-exports the fault plan type.
+type FaultPlan = fault.Plan
+
+// ParseFaultPlan re-exports the fault-plan spec parser ("seed=7,link=0.002").
+func ParseFaultPlan(spec string) (*fault.Plan, error) { return fault.ParsePlan(spec) }
 
 // Testbed is an assembled simulation: kernel, memory system, device, and
 // one host agent per queue.
@@ -160,6 +183,17 @@ func NewTestbed(cfg Config) *Testbed {
 	sys := coherence.NewSystem(k, plat)
 	sys.SetPrefetch(0, cfg.HostPrefetch)
 	sys.SetPrefetch(1, cfg.NICPrefetch)
+
+	// Arm the fault injector before any device is built so every layer
+	// observes it from its first event; the schedule is then a pure
+	// function of (plan seed, kernel event order).
+	plan := cfg.Faults
+	if plan == nil {
+		plan = defaultFaults
+	}
+	if plan.Armed() {
+		sys.SetFaults(fault.NewInjector(plan))
+	}
 
 	hosts := make([]*Agent, queues)
 	for i := range hosts {

@@ -1,0 +1,87 @@
+// Command benchgate guards CI against gross host-performance regressions.
+// It re-measures a handful of event-heavy experiments in quick mode and
+// compares the achieved simulation rate (events/sec) against the committed
+// perf-trajectory baseline (BENCH_PR1.json). The gate trips only on a large
+// regression — the default factor of 3 absorbs machine-to-machine variance
+// and quick-mode scale effects while still catching an accidentally
+// quadratic hot path or a lost zero-alloc property.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_PR1.json [-factor 3] [id...]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ccnic/internal/experiments"
+)
+
+// baselineFile mirrors the subset of the ccbench -json schema the gate needs.
+type baselineFile struct {
+	Schema      string `json:"schema"`
+	Experiments []struct {
+		ID           string  `json:"id"`
+		EventsPerSec float64 `json:"events_per_sec"`
+	} `json:"experiments"`
+}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_PR1.json", "perf-trajectory `file` written by ccbench -json")
+	factor := flag.Float64("factor", 3.0, "fail when baseline/current exceeds this ratio")
+	flag.Parse()
+
+	// Default to experiments whose full-scale runs execute tens of millions
+	// of events, so the quick-mode rate is a stable estimate of simulator
+	// throughput rather than startup overhead.
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = []string{"fig13", "fig21", "table2"}
+	}
+
+	buf, err := os.ReadFile(*basePath)
+	if err != nil {
+		fatalf("benchgate: %v", err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fatalf("benchgate: parse %s: %v", *basePath, err)
+	}
+	rates := make(map[string]float64, len(base.Experiments))
+	for _, e := range base.Experiments {
+		rates[e.ID] = e.EventsPerSec
+	}
+
+	bad := 0
+	for _, id := range ids {
+		e := experiments.ByID(id)
+		if e == nil {
+			fatalf("benchgate: unknown experiment %q", id)
+		}
+		want, ok := rates[id]
+		if !ok || want <= 0 {
+			fatalf("benchgate: %s has no baseline rate in %s", id, *basePath)
+		}
+		_, cost := experiments.Measure(e, experiments.Options{Quick: true})
+		ratio := want / cost.EventsPerSec
+		verdict := "ok"
+		if ratio > *factor {
+			verdict = "FAIL"
+			bad++
+		}
+		fmt.Printf("%-8s baseline %6.2fM ev/s, current %6.2fM ev/s, ratio %.2fx [%s]\n",
+			id, want/1e6, cost.EventsPerSec/1e6, ratio, verdict)
+	}
+	if bad > 0 {
+		fatalf("benchgate: %d of %d experiments regressed by more than %.1fx vs %s", bad, len(ids), *factor, *basePath)
+	}
+	fmt.Printf("benchgate: %d experiments within %.1fx of %s\n", len(ids), *factor, *basePath)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

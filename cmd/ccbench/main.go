@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"ccnic"
 	"ccnic/internal/check"
 	"ccnic/internal/experiments"
 )
@@ -57,6 +58,7 @@ func main() {
 	checkFlag := flag.Bool("check", false, "validate model invariants online in every simulation (internal/check)")
 	goldenPath := flag.String("golden", "", "diff each experiment's output against golden `file`; exit 1 on any mismatch")
 	hashesPath := flag.String("hashes", "", "write a JSON map of experiment id -> sha256 of normalized output to `file`")
+	faultsSpec := flag.String("faults", "", "arm a deterministic fault `plan`, e.g. \"seed=7,dbdrop=0.01\" or \"all=0.005\" (see internal/fault)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ccbench [-quick] [-json file] [-all | -list | <id>...]\n\n")
 		fmt.Fprintf(os.Stderr, "Regenerates the CC-NIC paper's evaluation tables and figures.\n\n")
@@ -117,6 +119,19 @@ func main() {
 	var hashes map[string]string
 	if *hashesPath != "" {
 		hashes = make(map[string]string)
+	}
+	if *faultsSpec != "" {
+		plan, err := ccnic.ParseFaultPlan(*faultsSpec)
+		if err != nil {
+			fatalf("ccbench: %v", err)
+		}
+		if plan != nil && (*goldenPath != "" || *hashesPath != "") {
+			fatalf("ccbench: -faults perturbs experiment output; golden and hash runs must be fault-free")
+		}
+		ccnic.SetDefaultFaults(plan)
+		if plan != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: fault plan armed: %s\n", plan)
+		}
 	}
 	if *checkFlag {
 		check.EnableAuto()

@@ -39,8 +39,15 @@ func main() {
 		prefetch = flag.Bool("prefetch", true, "host hardware prefetching")
 		doTrace  = flag.Bool("trace", false, "sample packet lifecycles and print a stage breakdown (loopback only)")
 		overlayN = flag.Int("overlay-threads", 0, "overlay forwarding threads (0 = one per queue)")
+		faults   = flag.String("faults", "", "arm a deterministic fault `plan`, e.g. \"seed=7,dbdrop=0.01\" or \"all=0.005\" (see internal/fault)")
 	)
 	flag.Parse()
+
+	plan, err := ccnic.ParseFaultPlan(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccnicsim: %v\n", err)
+		os.Exit(1)
+	}
 
 	iface, ok := map[string]ccnic.Interface{
 		"ccnic":         ccnic.CCNIC,
@@ -61,12 +68,16 @@ func main() {
 		Queues:         *queues,
 		HostPrefetch:   *prefetch,
 		OverlayThreads: *overlayN,
+		Faults:         plan,
 	})
 	meas := sim.Time(*measure * float64(sim.Microsecond))
 	warm := meas / 3
 
-	fmt.Printf("platform %s, interface %v, %d queues, %dB packets\n\n",
-		tb.Plat.Name, iface, *queues, *pkt)
+	fmt.Printf("platform %s, interface %v, %d queues, %dB packets\n", tb.Plat.Name, iface, *queues, *pkt)
+	if plan != nil {
+		fmt.Printf("fault plan armed: %s\n", plan)
+	}
+	fmt.Println()
 
 	switch *workload {
 	case "loopback":
@@ -130,4 +141,7 @@ func main() {
 	c0, c1 := tb.Sys.Counters(0), tb.Sys.Counters(1)
 	fmt.Printf("remote accesses: host %d rd / %d rfo, NIC-side %d rd / %d rfo\n",
 		c0.RemoteRead, c0.RemoteRFO, c1.RemoteRead, c1.RemoteRFO)
+	if flt := tb.Sys.Faults(); flt != nil {
+		fmt.Printf("\n%s", flt.Stats().Format())
+	}
 }

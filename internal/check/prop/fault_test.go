@@ -1,0 +1,122 @@
+package prop
+
+import (
+	"testing"
+
+	"ccnic/internal/coherence"
+	"ccnic/internal/fault"
+)
+
+// faultSpecs is the armed-class grid for the fault matrix: every fault
+// class on its own, plus the everything-at-once plan. Rates are chosen
+// high enough that each class actually fires within a property-harness
+// run (~hundreds of thousands of draws) without collapsing throughput
+// to zero.
+func faultSpecs() []string {
+	specs := make([]string, 0, int(fault.NumClasses)+1)
+	for _, c := range fault.Classes() {
+		specs = append(specs, "seed=9,"+c.String()+"=0.02")
+	}
+	specs = append(specs, "seed=9,all=0.005")
+	return specs
+}
+
+// TestFaultMatrixInvariantsHold runs every armed fault class against
+// every generated scenario and asserts the invariant engine stays
+// silent: faults perturb timing and delivery, never coherence state, so
+// a violation here means a recovery path corrupted the simulation.
+func TestFaultMatrixInvariantsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fault matrix")
+	}
+	covered := map[string]bool{}
+	for seed := int64(1); seed <= 6; seed++ {
+		sc := Generate(seed)
+		covered[sc.Iface] = true
+		for _, spec := range faultSpecs() {
+			sc := sc
+			sc.Faults = spec
+			t.Run(sc.String(), func(t *testing.T) {
+				t.Parallel()
+				out := sc.Run(coherence.MutateNone, 1<<16)
+				if len(out.Violations) != 0 {
+					t.Fatalf("invariant violations under faults: %v", out.Violations)
+				}
+				if out.Checks == 0 {
+					t.Error("engine performed no checks")
+				}
+				if out.SimEvents == 0 {
+					t.Error("simulation ran no events")
+				}
+			})
+		}
+	}
+	if !covered[IfaceCCNIC] {
+		t.Errorf("fault matrix missed the coherent interface: %v", covered)
+	}
+}
+
+// TestFaultDeterminism: same scenario + same fault plan ⇒ bit-identical
+// fingerprints (throughput bits, latency quantiles, event count). The
+// fault schedule is a pure function of (seed, plan), so two runs must
+// agree exactly.
+func TestFaultDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("run-twice sweep")
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		sc := Generate(seed)
+		sc.Faults = "seed=13,all=0.01"
+		t.Run(sc.String(), func(t *testing.T) {
+			t.Parallel()
+			a := sc.Run(coherence.MutateNone, 1<<18)
+			b := sc.Run(coherence.MutateNone, 1<<18)
+			if a.Fingerprint != b.Fingerprint {
+				t.Fatalf("nondeterministic under faults:\n run1: %s\n run2: %s", a.Fingerprint, b.Fingerprint)
+			}
+		})
+	}
+}
+
+// TestFaultPlanChangesSchedule: arming a plan must actually perturb the
+// run (otherwise the matrix above is testing nothing), and different
+// fault seeds must produce different schedules.
+func TestFaultPlanChangesSchedule(t *testing.T) {
+	sc := Generate(3)
+	clean := sc.Run(coherence.MutateNone, 1<<18)
+	sc.Faults = "seed=1,all=0.02"
+	armed := sc.Run(coherence.MutateNone, 1<<18)
+	if clean.Fingerprint == armed.Fingerprint {
+		t.Error("armed fault plan did not perturb the run")
+	}
+	sc.Faults = "seed=2,all=0.02"
+	armed2 := sc.Run(coherence.MutateNone, 1<<18)
+	if armed.Fingerprint == armed2.Fingerprint {
+		t.Error("different fault seeds produced identical schedules")
+	}
+	if len(armed.Violations) != 0 || len(armed2.Violations) != 0 {
+		t.Errorf("violations under faults: %v %v", armed.Violations, armed2.Violations)
+	}
+}
+
+// TestMutationStillCaughtUnderFaults: the engine must keep its teeth
+// with a fault plan armed — injected timing noise cannot mask a real
+// coherence defect.
+func TestMutationStillCaughtUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation sweep")
+	}
+	for seed := int64(1); seed <= 40; seed++ {
+		sc := Generate(seed)
+		if sc.Iface != IfaceCCNIC || sc.Workload != "loopback" {
+			continue
+		}
+		sc.Faults = "seed=5,all=0.01"
+		out := sc.Run(coherence.MutateStaleMigration, 1<<12)
+		if len(out.Violations) == 0 {
+			t.Fatal("mutated run under faults produced no violations")
+		}
+		return
+	}
+	t.Fatal("no coherent loopback scenarios generated in 40 seeds")
+}

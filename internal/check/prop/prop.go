@@ -19,6 +19,7 @@ import (
 	"ccnic/internal/check"
 	"ccnic/internal/coherence"
 	"ccnic/internal/device"
+	"ccnic/internal/fault"
 	"ccnic/internal/kvstore"
 	"ccnic/internal/loopback"
 	"ccnic/internal/platform"
@@ -48,12 +49,21 @@ type Scenario struct {
 
 	// UPI design-point knobs (IfaceCCNIC only; Unopt is fixed by design).
 	Cfg device.UPIConfig
+
+	// Faults optionally arms a fault plan (a fault.ParsePlan spec such as
+	// "seed=3,dbdrop=0.01"). The zero value runs fault-free, so existing
+	// scenario fingerprints are unchanged.
+	Faults string
 }
 
 func (sc Scenario) String() string {
-	return fmt.Sprintf("seed=%d %s/%s %s q=%d pkt=%d rate=%.0f layout=%v recycle=%v small=%v seq=%v nicmgmt=%v ring=%d",
+	s := fmt.Sprintf("seed=%d %s/%s %s q=%d pkt=%d rate=%.0f layout=%v recycle=%v small=%v seq=%v nicmgmt=%v ring=%d",
 		sc.Seed, sc.Platform, sc.Iface, sc.Workload, sc.Queues, sc.PktSize, sc.Rate,
 		sc.Cfg.Layout, sc.Cfg.Recycle, sc.Cfg.SmallBufs, sc.Cfg.Sequential, sc.Cfg.NICBufMgmt, sc.Cfg.RingLines)
+	if sc.Faults != "" {
+		s += " faults=" + sc.Faults
+	}
+	return s
 }
 
 // Generate derives a scenario deterministically from seed.
@@ -118,6 +128,15 @@ func (sc Scenario) Run(mut coherence.Mutation, fullEvery uint64) Outcome {
 	e.SetCollect(true)
 	e.SetFullEvery(fullEvery)
 	sys.SetMutation(mut)
+	if sc.Faults != "" {
+		plan, err := fault.ParsePlan(sc.Faults)
+		if err != nil {
+			panic("prop: bad fault plan: " + err.Error())
+		}
+		// Armed before device construction so every layer observes the
+		// injector from its first event.
+		sys.SetFaults(fault.NewInjector(plan))
+	}
 
 	hosts := make([]*coherence.Agent, sc.Queues)
 	for i := range hosts {

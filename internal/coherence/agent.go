@@ -386,6 +386,7 @@ const StoreIssueCost = 15 * sim.Nanosecond
 // becomes globally visible — a remote consumer polling before then still
 // observes the old contents. Ring implementations gate readiness on it.
 func (a *Agent) WriteAsync(p *sim.Proc, addr mem.Addr, size int) (visibleAt sim.Time) {
+	a.pressure(p)
 	if size <= 0 {
 		size = 1
 	}
@@ -432,7 +433,20 @@ func (a *Agent) Poll(p *sim.Proc, addr mem.Addr, size int) sim.Time {
 	return a.serialAccess(p, addr, size, false, false)
 }
 
+// pressure models transient cache-pressure interference when a fault
+// plan arms it: a co-runner evicting lines costs the access extra
+// latency. Pure timing — it never touches cache or directory state, so
+// every coherence invariant holds with the fault armed.
+func (a *Agent) pressure(p *sim.Proc) {
+	if f := a.sys.flt; f != nil {
+		if d := f.CachePressure(); d > 0 {
+			p.Sleep(d)
+		}
+	}
+}
+
 func (a *Agent) serialAccess(p *sim.Proc, addr mem.Addr, size int, write, train bool) sim.Time {
+	a.pressure(p)
 	if size <= 0 {
 		size = 1
 	}
@@ -466,6 +480,7 @@ func (a *Agent) StreamWrite(p *sim.Proc, addr mem.Addr, size int) sim.Time {
 }
 
 func (a *Agent) stream(p *sim.Proc, addr mem.Addr, size int, write bool) sim.Time {
+	a.pressure(p)
 	if size <= 0 {
 		size = 1
 	}
@@ -511,6 +526,7 @@ func (a *Agent) ScatterWrite(p *sim.Proc, lines []mem.Addr) sim.Time {
 }
 
 func (a *Agent) gather(p *sim.Proc, lines []mem.Addr, write bool) sim.Time {
+	a.pressure(p)
 	total := sim.Time(0)
 	for i, line := range lines {
 		r := a.sys.accessLine(a, line, write, false, write)

@@ -3,6 +3,7 @@ package coherence
 import (
 	"fmt"
 
+	"ccnic/internal/fault"
 	"ccnic/internal/interconn"
 	"ccnic/internal/mem"
 	"ccnic/internal/platform"
@@ -66,6 +67,9 @@ type System struct {
 	noMigrate bool
 	// mutation arms a deliberate protocol defect for engine self-tests.
 	mutation Mutation
+	// flt is the optional fault injector (internal/fault); nil in normal
+	// runs. Faults perturb timing only, never coherence state.
+	flt *fault.Injector
 }
 
 // NewSystem builds a coherent memory system for the given platform on the
@@ -104,6 +108,18 @@ func (s *System) Space() *mem.Space { return s.space }
 
 // Link returns the UPI link model.
 func (s *System) Link() *interconn.Link { return s.link }
+
+// SetFaults arms (or, with nil, disarms) the fault injector on this
+// system and its interconnect link. Must be called before the workload
+// starts so the fault schedule is a pure function of (seed, plan).
+func (s *System) SetFaults(f *fault.Injector) {
+	s.flt = f
+	s.link.SetFaults(f)
+}
+
+// Faults returns the armed fault injector, or nil. Device models and
+// drivers built on this system consult it at their opportunity points.
+func (s *System) Faults() *fault.Injector { return s.flt }
 
 // SetPrefetch enables or disables hardware prefetching on a socket.
 func (s *System) SetPrefetch(socket int, on bool) { s.prefetch[socket] = on }

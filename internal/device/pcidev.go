@@ -90,6 +90,14 @@ type pcieQueue struct {
 
 	deliveries []delivery
 
+	// Fault state (armed plans only): the time a doorbell write was
+	// injected as lost (zero = none pending; the watchdog re-rings after
+	// dbWatchdogTimeout) and the number of duplicate doorbells the
+	// device still owes a spurious descriptor fetch for.
+	txDbLostAt sim.Time
+	rxDbLostAt sim.Time
+	dbDup      int
+
 	ingressRate    float64
 	ingressGen     func() int
 	pendingIngress int // size drawn but not yet injected (backpressure)
@@ -165,6 +173,9 @@ func (d *PCIeNIC) TxCount(i int) int64 { return d.qs[i].txCount }
 
 // Start spawns the device pipeline processes.
 func (d *PCIeNIC) Start() {
+	// Sync the PCIe endpoint with the system's fault injector: plans are
+	// armed on the system between construction and Start.
+	d.ep.SetFaults(d.sys.Faults())
 	for _, q := range d.qs {
 		q := q
 		d.sys.Kernel().Spawn(fmt.Sprintf("%s.fetch%d", d.name, q.idx), q.fetchMain)
@@ -193,6 +204,7 @@ func (q *pcieQueue) TxBurst(p *sim.Proc, bufs []*bufpool.Buf) int {
 		}
 	}
 	q.primeRx(p)
+	q.watchdog(p)
 	q.reclaimTx(p)
 	r := q.txR
 	n := len(bufs)
@@ -215,9 +227,62 @@ func (q *pcieQueue) TxBurst(p *sim.Proc, bufs []*bufpool.Buf) int {
 	} else {
 		q.mmio.UCWrite(p, 4)
 	}
+	flt := q.dev.sys.Faults()
+	if flt.DoorbellDropped() {
+		// The posted write is lost before the doorbell register: the
+		// device never observes this tail. The watchdog re-rings.
+		if q.txDbLostAt == 0 {
+			q.txDbLostAt = p.Now()
+		}
+		return n
+	}
+	if flt.DoorbellDuplicated() {
+		q.dbDup++
+	}
 	q.txTailShadow = r.TailIdx
 	q.txTailVisible = p.Now() + q.dev.ep.MMIOPropagation()
+	q.txDbLostAt = 0 // this ring conveys every outstanding descriptor
 	return n
+}
+
+// dbWatchdogTimeout is how long the driver waits for the device to act on
+// a rung doorbell before concluding it was lost and re-ringing. Lost
+// doorbells only exist under an armed fault plan, so the watchdog is
+// inert — a pair of integer compares — in fault-free runs.
+const dbWatchdogTimeout = 3 * sim.Microsecond
+
+// watchdog re-rings doorbells that an armed fault plan dropped. Called
+// from both TxBurst and RxBurst so that a closed-loop driver whose
+// in-flight window is full (and therefore stops posting TX work) still
+// recovers via its RX polling.
+func (q *pcieQueue) watchdog(p *sim.Proc) {
+	if q.txDbLostAt == 0 && q.rxDbLostAt == 0 {
+		return
+	}
+	flt := q.dev.sys.Faults()
+	now := p.Now()
+	if q.txDbLostAt != 0 && now-q.txDbLostAt >= dbWatchdogTimeout && q.txR.TailIdx > q.txTailShadow {
+		q.mmio.UCWrite(p, 4)
+		if flt.DoorbellDropped() {
+			q.txDbLostAt = p.Now() // lost again; restart the timer
+		} else {
+			q.txDbLostAt = 0
+			q.txTailShadow = q.txR.TailIdx
+			q.txTailVisible = p.Now() + q.dev.ep.MMIOPropagation()
+			flt.Stats().NoteRering()
+		}
+	}
+	if q.rxDbLostAt != 0 && now-q.rxDbLostAt >= dbWatchdogTimeout && q.rxR.TailIdx > q.rxTailShadow {
+		q.mmio.UCWrite(p, 4)
+		if flt.DoorbellDropped() {
+			q.rxDbLostAt = p.Now()
+		} else {
+			q.rxDbLostAt = 0
+			q.rxTailShadow = q.rxR.TailIdx
+			q.rxTailVisible = p.Now() + q.dev.ep.MMIOPropagation()
+			flt.Stats().NoteRering()
+		}
+	}
 }
 
 // reclaimTx frees TX buffers whose completion (DD) writebacks have arrived.
@@ -247,6 +312,7 @@ func (q *pcieQueue) reclaimTx(p *sim.Proc) {
 func (q *pcieQueue) RxBurst(p *sim.Proc, out []*bufpool.Buf) int {
 	driverOverhead(p, q.host, 0, 10*sim.Nanosecond, 0)
 	q.primeRx(p)
+	q.watchdog(p)
 	r := q.rxR
 	now := p.Now()
 	n := 0
@@ -271,11 +337,28 @@ func (q *pcieQueue) RxBurst(p *sim.Proc, out []*bufpool.Buf) int {
 	q.rxFreed += n
 	if q.rxFreed >= rxDoorbellThresh {
 		q.rxFreed = 0
-		q.mmio.UCWrite(p, 4)
-		q.rxTailShadow = q.rxR.TailIdx
-		q.rxTailVisible = p.Now() + q.dev.ep.MMIOPropagation()
+		q.ringRxDoorbell(p)
 	}
 	return n
+}
+
+// ringRxDoorbell bumps the RX tail register, honoring armed doorbell
+// fault draws (drop → watchdog recovery; duplicate → spurious fetch).
+func (q *pcieQueue) ringRxDoorbell(p *sim.Proc) {
+	q.mmio.UCWrite(p, 4)
+	flt := q.dev.sys.Faults()
+	if flt.DoorbellDropped() {
+		if q.rxDbLostAt == 0 {
+			q.rxDbLostAt = p.Now()
+		}
+		return
+	}
+	if flt.DoorbellDuplicated() {
+		q.dbDup++
+	}
+	q.rxTailShadow = q.rxR.TailIdx
+	q.rxTailVisible = p.Now() + q.dev.ep.MMIOPropagation()
+	q.rxDbLostAt = 0
 }
 
 // Release implements Queue: return consumed RX buffers to the pool (ring
@@ -322,9 +405,7 @@ func (q *pcieQueue) primeRx(p *sim.Proc) {
 	}
 	q.primed = true
 	q.postBlanks(p, q.rxR.Size()*3/4)
-	q.mmio.UCWrite(p, 4)
-	q.rxTailShadow = q.rxR.TailIdx
-	q.rxTailVisible = p.Now() + q.dev.ep.MMIOPropagation()
+	q.ringRxDoorbell(p)
 }
 
 // ---------- Device pipeline ----------
@@ -336,13 +417,28 @@ func (q *pcieQueue) primeRx(p *sim.Proc) {
 func (q *pcieQueue) fetchMain(p *sim.Proc) {
 	d := q.dev
 	pollGap := d.sys.Platform().PollGap
+	flt := d.sys.Faults()
 	for !q.stopped {
 		busy := false
 		now := p.Now()
 
+		// A duplicate doorbell costs the device one spurious descriptor
+		// fetch; ring cursors bound what it can act on, so that is all.
+		if q.dbDup > 0 {
+			q.dbDup--
+			d.ep.DMAReadAsync(now, mem.LineSize)
+			busy = true
+		}
+
 		// TX fetch.
 		if now >= q.txTailVisible && q.txSeen < q.txTailShadow {
 			busy = true
+			// Transient pipeline stall (armed fault plans only): the
+			// engine pauses before serving the doorbell.
+			if stall := flt.PipelineStall(); stall > 0 {
+				p.Sleep(stall)
+				now = p.Now()
+			}
 			n := q.txTailShadow - q.txSeen
 			if n > 32 {
 				n = 32
@@ -389,8 +485,11 @@ func (q *pcieQueue) fetchMain(p *sim.Proc) {
 					})
 				}
 			}
-			// TX completion writeback for the batch (DDIO).
-			doneAt := d.ep.DMAWriteAsync(lastReady, len(lines)*mem.LineSize)
+			// TX completion writeback for the batch (DDIO). An armed
+			// DMA-delay fault pushes the completion later in time;
+			// the data is intact and ordering is preserved because the
+			// whole batch shares one doneAt.
+			doneAt := d.ep.DMAWriteAsync(lastReady, len(lines)*mem.LineSize) + flt.DMADelay()
 			for i := 0; i < n; i++ {
 				idx := q.txSeen + i
 				q.txR.SetDone(idx)
@@ -446,6 +545,7 @@ func (q *pcieQueue) fetchMain(p *sim.Proc) {
 func (q *pcieQueue) deliverMain(p *sim.Proc) {
 	d := q.dev
 	pollGap := d.sys.Platform().PollGap
+	flt := d.sys.Faults()
 	for !q.stopped {
 		if len(q.deliveries) == 0 {
 			p.Sleep(pollGap)
@@ -455,6 +555,9 @@ func (q *pcieQueue) deliverMain(p *sim.Proc) {
 		q.deliveries = q.deliveries[1:]
 		if dv.readyAt > p.Now() {
 			p.Sleep(dv.readyAt - p.Now())
+		}
+		if stall := flt.PipelineStall(); stall > 0 {
+			p.Sleep(stall)
 		}
 		// The RX leg's share of the device pipeline and data path.
 		if out := d.service(p.Now(), dv.size, 1); out > p.Now() {
@@ -487,6 +590,10 @@ func (q *pcieQueue) deliverMain(p *sim.Proc) {
 		if descAt > at {
 			at = descAt
 		}
+		// Delayed RX completion under an armed DMA-delay fault. The
+		// rxDoneAt prefix the driver consumes stays in-order because
+		// RxBurst stops at the first not-yet-visible completion.
+		at += flt.DMADelay()
 		q.rxDoneAt[idx%q.rxR.Size()] = at
 	}
 }

@@ -68,6 +68,14 @@ func (q *upiQueue) nicStep(p *sim.Proc) bool {
 	cfg := &q.dev.cfg
 	busy := false
 
+	// Transient pipeline stall (armed fault plans only): the NIC engine
+	// pauses before serving the rings. Coherent-interface queues have no
+	// doorbells to lose; link and cache faults arrive via the coherence
+	// layer underneath.
+	if stall := q.dev.sys.Faults().PipelineStall(); stall > 0 {
+		p.Sleep(stall)
+	}
+
 	// --- TX ring: consume submitted packets. ---
 	var metas []pktMeta
 	if cfg.InlineSignal {

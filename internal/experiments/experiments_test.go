@@ -14,6 +14,8 @@ func TestRegistryComplete(t *testing.T) {
 		"fig17", "fig18", "fig19", "fig20", "fig21", "table2",
 		// Extensions beyond the paper's evaluation (§3.2, §6).
 		"ext-cxl", "ext-dsa", "ext-event", "ext-netfn",
+		// Fault-injection family (internal/fault).
+		"faults-rate", "faults-recovery",
 	}
 	for _, id := range want {
 		e := ByID(id)
@@ -179,10 +181,40 @@ func fmt_Sscanf(s string, v *float64) (int, error) {
 	return fmt.Sscanf(strings.TrimSpace(s), "%f", v)
 }
 
+// TestFaultsRecoveryShape: each armed class must actually inject, and
+// the doorbell-drop row must show the driver's re-ring watchdog firing.
+func TestFaultsRecoveryShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fault workloads")
+	}
+	r := ByID("faults-recovery").Run(Options{Quick: true})
+	rows := r.Tables[0].Rows
+	for _, row := range rows {
+		var injected float64
+		if _, err := sscanf(row[2], &injected); err != nil {
+			t.Fatalf("bad injected cell %q", row[2])
+		}
+		if injected == 0 {
+			t.Errorf("class %s (%s) injected nothing", row[0], row[1])
+		}
+		if row[0] == "dbdrop" {
+			var rerings float64
+			if _, err := sscanf(row[3], &rerings); err != nil {
+				t.Fatal(err)
+			}
+			if rerings == 0 {
+				t.Errorf("dbdrop row shows no doorbell re-rings: %v", row)
+			}
+		}
+	}
+}
+
 // TestExperimentDeterminism re-runs quick experiments and requires
 // bit-identical reports — regenerated figures must be reproducible.
+// faults-rate and faults-recovery pin the acceptance criterion that a
+// seeded fault plan yields bit-identical output.
 func TestExperimentDeterminism(t *testing.T) {
-	for _, id := range []string{"fig7", "fig8", "fig17", "ext-dsa"} {
+	for _, id := range []string{"fig7", "fig8", "fig17", "ext-dsa", "faults-rate", "faults-recovery"} {
 		e := ByID(id)
 		a := e.Run(Options{Quick: true}).Format()
 		b := e.Run(Options{Quick: true}).Format()

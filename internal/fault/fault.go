@@ -1,0 +1,389 @@
+// Package fault is the simulator's deterministic fault-injection engine.
+//
+// A Plan names which fault classes are armed and at what per-opportunity
+// rate; an Injector draws faults from its own seeded PRNG (never wall
+// clock — detlint-clean) so the same seed + the same plan reproduces the
+// exact same fault schedule run after run. Hardware layers (interconn,
+// pcie, device, coherence) consult the injector at well-defined
+// opportunity points; software layers (ring drivers, rpcstack, kvstore)
+// are expected to survive every armed class with watchdogs, re-rings,
+// retransmission, and bounded retry, and report what they did through
+// Stats.
+//
+// The cardinal rule, enforced by internal/check under the fault matrix:
+// faults perturb *timing and delivery* only. They never mutate coherence
+// state, never forge a descriptor, never un-own a buffer. Every DESIGN §5
+// invariant must hold with any plan armed.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ccnic/internal/sim"
+)
+
+// Class identifies one armed fault class.
+type Class int
+
+const (
+	// LinkCorrupt models interconnect flit corruption: the link-level
+	// CRC catches it and the retry adds a latency spike, plus a short
+	// window of transient bandwidth derating while the retry queue drains.
+	LinkCorrupt Class = iota
+	// PCIeReplay models a PCIe transaction-layer replay: DLLP ack timeout
+	// and replay-buffer retransmission add latency to the affected TLP.
+	PCIeReplay
+	// DoorbellDrop models a doorbell MMIO write that never becomes
+	// visible to the device (posted-write lost before the NIC's doorbell
+	// register). The driver's watchdog must notice and re-ring.
+	DoorbellDrop
+	// DoorbellDup models a doorbell that arrives twice; the device must
+	// treat the second observation as benign (descriptor fetch is bounded
+	// by the ring cursors, so a dup costs a spurious fetch, nothing more).
+	DoorbellDup
+	// PipelineStall models a transient device-pipeline stall (scheduler
+	// hiccup, PHY backpressure): the NIC stops serving for a short window.
+	PipelineStall
+	// DMADelay models a delayed DMA completion: the data arrives intact
+	// but the completion is pushed later in time.
+	DMADelay
+	// CachePressure models transient cache-pressure interference on the
+	// host: a co-runner evicting lines adds latency to coherent accesses.
+	CachePressure
+
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	LinkCorrupt:   "link",
+	PCIeReplay:    "replay",
+	DoorbellDrop:  "dbdrop",
+	DoorbellDup:   "dbdup",
+	PipelineStall: "stall",
+	DMADelay:      "dma",
+	CachePressure: "cache",
+}
+
+// String returns the short spec name of the class (as used in ParsePlan).
+func (c Class) String() string {
+	if c < 0 || c >= NumClasses {
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// Classes returns all fault classes in declaration order.
+func Classes() []Class {
+	out := make([]Class, NumClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// Plan is a fault schedule specification: a PRNG seed plus a
+// per-opportunity injection probability for each class. The zero Plan is
+// unarmed and injects nothing.
+type Plan struct {
+	Seed int64
+	Rate [NumClasses]float64
+}
+
+// Armed reports whether any class has a nonzero rate.
+func (p *Plan) Armed() bool {
+	if p == nil {
+		return false
+	}
+	for _, r := range p.Rate {
+		if r > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the plan in the canonical spec form accepted by
+// ParsePlan: "seed=S,class=rate,..." with classes in declaration order,
+// or "none" when unarmed.
+func (p *Plan) String() string {
+	if !p.Armed() {
+		return "none"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", p.Seed)
+	for c, r := range p.Rate {
+		if r > 0 {
+			fmt.Fprintf(&b, ",%s=%g", Class(c), r)
+		}
+	}
+	return b.String()
+}
+
+// ParsePlan parses a plan spec of the form
+//
+//	seed=7,link=0.002,dbdrop=0.01
+//
+// Recognized keys: "seed", each Class short name, and "all" (sets every
+// class). "" and "none" parse to an unarmed plan (nil). Keys may appear
+// in any order; later entries override earlier ones.
+func ParsePlan(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	p := &Plan{Seed: 1}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault plan: %q is not key=value", field)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if key == "seed" {
+			s, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault plan: bad seed %q: %v", val, err)
+			}
+			p.Seed = s
+			continue
+		}
+		r, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault plan: bad rate %q for %q: %v", val, key, err)
+		}
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("fault plan: rate for %q must be in [0,1], got %g", key, r)
+		}
+		if key == "all" {
+			for c := range p.Rate {
+				p.Rate[c] = r
+			}
+			continue
+		}
+		found := false
+		for c, name := range classNames {
+			if key == name {
+				p.Rate[c] = r
+				found = true
+				break
+			}
+		}
+		if !found {
+			names := make([]string, 0, NumClasses+2)
+			for _, n := range classNames {
+				names = append(names, n)
+			}
+			names = append(names, "all", "seed")
+			sort.Strings(names)
+			return nil, fmt.Errorf("fault plan: unknown class %q (want one of %s)", key, strings.Join(names, ", "))
+		}
+	}
+	if !p.Armed() {
+		return nil, nil
+	}
+	return p, nil
+}
+
+// Stats accumulates what was injected and how the software stack coped.
+// All methods are nil-receiver-safe so callers can hook them unguarded.
+type Stats struct {
+	Injected [NumClasses]int64 // faults injected, by class
+
+	Rerings     int64 // doorbell watchdog re-rings (drivers)
+	Retransmits int64 // RPC retransmissions (rpcstack)
+	Backoffs    int64 // exponential-backoff waits taken
+	Retries     int64 // bounded request retries (kvstore, loopback)
+	Drops       int64 // degraded-mode drops after retries exhausted
+}
+
+// NoteRering records one driver doorbell re-ring.
+func (s *Stats) NoteRering() {
+	if s != nil {
+		s.Rerings++
+	}
+}
+
+// NoteRetransmit records one RPC retransmission.
+func (s *Stats) NoteRetransmit() {
+	if s != nil {
+		s.Retransmits++
+	}
+}
+
+// NoteBackoff records one exponential-backoff wait.
+func (s *Stats) NoteBackoff() {
+	if s != nil {
+		s.Backoffs++
+	}
+}
+
+// NoteRetry records one bounded request retry.
+func (s *Stats) NoteRetry() {
+	if s != nil {
+		s.Retries++
+	}
+}
+
+// NoteDrop records one degraded-mode drop.
+func (s *Stats) NoteDrop() {
+	if s != nil {
+		s.Drops++
+	}
+}
+
+// Total returns the total number of injected faults across all classes.
+func (s *Stats) Total() int64 {
+	if s == nil {
+		return 0
+	}
+	var t int64
+	for _, n := range s.Injected {
+		t += n
+	}
+	return t
+}
+
+// Format renders the stats as a stable multi-line report.
+func (s *Stats) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults injected: %d\n", s.Total())
+	if s != nil {
+		for c, n := range s.Injected {
+			if n > 0 {
+				fmt.Fprintf(&b, "  %-8s %d\n", Class(c), n)
+			}
+		}
+		fmt.Fprintf(&b, "recovery: rerings=%d retransmits=%d backoffs=%d retries=%d drops=%d\n",
+			s.Rerings, s.Retransmits, s.Backoffs, s.Retries, s.Drops)
+	}
+	return b.String()
+}
+
+// Injector draws faults deterministically from a seeded PRNG. A nil
+// *Injector is valid and never injects, so hardware layers hold a plain
+// field and call without guarding. All draws happen on simulator procs,
+// which the kernel serializes, so a single rng needs no locking and the
+// draw order — hence the fault schedule — is a pure function of
+// (kernel seed, plan).
+type Injector struct {
+	rng   *rand.Rand
+	plan  Plan
+	stats Stats
+}
+
+// NewInjector builds an injector for the plan. Returns nil for an
+// unarmed (or nil) plan, which disables injection everywhere.
+func NewInjector(p *Plan) *Injector {
+	if !p.Armed() {
+		return nil
+	}
+	return &Injector{rng: rand.New(rand.NewSource(p.Seed)), plan: *p}
+}
+
+// Plan returns the armed plan (zero Plan for nil).
+func (f *Injector) Plan() Plan {
+	if f == nil {
+		return Plan{}
+	}
+	return f.plan
+}
+
+// Stats exposes the accumulated fault + recovery counters. Returns nil
+// for a nil injector; Stats methods tolerate that.
+func (f *Injector) Stats() *Stats {
+	if f == nil {
+		return nil
+	}
+	return &f.stats
+}
+
+// draw decides whether a fault of class c fires at this opportunity.
+// The PRNG is consumed only for armed classes, so arming class A does
+// not perturb the schedule of class B.
+func (f *Injector) draw(c Class) bool {
+	if f == nil {
+		return false
+	}
+	r := f.plan.Rate[c]
+	if r <= 0 {
+		return false
+	}
+	if f.rng.Float64() >= r {
+		return false
+	}
+	f.stats.Injected[c]++
+	return true
+}
+
+// span returns a duration uniformly drawn from [lo, hi). Integer
+// arithmetic on sim.Time; only called after a successful draw.
+func (f *Injector) span(lo, hi sim.Time) sim.Time {
+	return lo + sim.Time(f.rng.Int63n(int64(hi-lo)))
+}
+
+// LinkFault is the interconnect opportunity point, consulted once per
+// link transfer. On injection it returns a link-level retry latency
+// spike and the length of the transient bandwidth-derating window that
+// follows while the retry queue drains; (0, 0) otherwise.
+func (f *Injector) LinkFault() (spike, derate sim.Time) {
+	if !f.draw(LinkCorrupt) {
+		return 0, 0
+	}
+	return f.span(100*sim.Nanosecond, 300*sim.Nanosecond),
+		f.span(200*sim.Nanosecond, 600*sim.Nanosecond)
+}
+
+// ReplayDelay is the PCIe opportunity point, consulted once per TLP
+// (DMA read/write, MMIO read). On injection it returns the replay
+// latency added to the transaction; 0 otherwise.
+func (f *Injector) ReplayDelay() sim.Time {
+	if !f.draw(PCIeReplay) {
+		return 0
+	}
+	return f.span(300*sim.Nanosecond, 1*sim.Microsecond)
+}
+
+// DoorbellDropped reports whether this doorbell write is lost before
+// reaching the device. The driver's ring watchdog must re-ring.
+func (f *Injector) DoorbellDropped() bool { return f.draw(DoorbellDrop) }
+
+// DoorbellDuplicated reports whether this doorbell is delivered twice.
+// The duplicate costs the device a spurious (bounded) descriptor fetch.
+func (f *Injector) DoorbellDuplicated() bool { return f.draw(DoorbellDup) }
+
+// PipelineStall is the device opportunity point, consulted once per
+// service iteration. On injection it returns how long the NIC pipeline
+// stalls; 0 otherwise.
+func (f *Injector) PipelineStall() sim.Time {
+	if !f.draw(PipelineStall) {
+		return 0
+	}
+	return f.span(500*sim.Nanosecond, 2*sim.Microsecond)
+}
+
+// DMADelay is consulted once per DMA completion. On injection it
+// returns extra delay applied to the completion time (data intact, just
+// late); 0 otherwise.
+func (f *Injector) DMADelay() sim.Time {
+	if !f.draw(DMADelay) {
+		return 0
+	}
+	return f.span(200*sim.Nanosecond, 800*sim.Nanosecond)
+}
+
+// CachePressure is the coherence opportunity point, consulted on
+// coherent access paths. On injection it returns extra latency modeling
+// interference misses; 0 otherwise.
+func (f *Injector) CachePressure() sim.Time {
+	if !f.draw(CachePressure) {
+		return 0
+	}
+	return f.span(20*sim.Nanosecond, 100*sim.Nanosecond)
+}

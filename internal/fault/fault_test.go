@@ -1,0 +1,192 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"ccnic/internal/sim"
+)
+
+func TestParsePlan(t *testing.T) {
+	for _, spec := range []string{"", "none", " none "} {
+		p, err := ParsePlan(spec)
+		if err != nil || p != nil {
+			t.Errorf("ParsePlan(%q) = %v, %v; want nil, nil", spec, p, err)
+		}
+	}
+	p, err := ParsePlan("seed=7,link=0.002,dbdrop=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.Rate[LinkCorrupt] != 0.002 || p.Rate[DoorbellDrop] != 0.01 {
+		t.Errorf("parsed plan %+v", p)
+	}
+	if !p.Armed() {
+		t.Error("plan should be armed")
+	}
+	if got := p.String(); got != "seed=7,link=0.002,dbdrop=0.01" {
+		t.Errorf("canonical form %q", got)
+	}
+	round, err := ParsePlan(p.String())
+	if err != nil || *round != *p {
+		t.Errorf("round trip: %+v, %v", round, err)
+	}
+
+	all, err := ParsePlan("all=0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if all.Rate[c] != 0.001 {
+			t.Errorf("all= did not set %v", c)
+		}
+	}
+	if all.Seed != 1 {
+		t.Errorf("default seed %d, want 1", all.Seed)
+	}
+
+	for _, bad := range []string{"bogus=0.1", "link", "link=x", "link=2", "link=-1", "seed=x"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+	// Zero rates parse to an unarmed (nil) plan.
+	if p, err := ParsePlan("seed=3,link=0"); err != nil || p != nil {
+		t.Errorf("all-zero plan: %v, %v; want nil, nil", p, err)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var f *Injector
+	if f.DoorbellDropped() || f.DoorbellDuplicated() {
+		t.Error("nil injector drops doorbells")
+	}
+	if f.ReplayDelay() != 0 || f.PipelineStall() != 0 || f.DMADelay() != 0 || f.CachePressure() != 0 {
+		t.Error("nil injector injects delay")
+	}
+	if s, d := f.LinkFault(); s != 0 || d != 0 {
+		t.Error("nil injector injects link faults")
+	}
+	if f.Stats() != nil {
+		t.Error("nil injector has stats")
+	}
+	// Stats methods tolerate nil so recovery paths need no guards.
+	f.Stats().NoteRering()
+	f.Stats().NoteDrop()
+	if f.Stats().Total() != 0 {
+		t.Error("nil stats counted")
+	}
+	if NewInjector(nil) != nil {
+		t.Error("NewInjector(nil) should be nil")
+	}
+	var unarmed Plan
+	if NewInjector(&unarmed) != nil {
+		t.Error("NewInjector(unarmed) should be nil")
+	}
+}
+
+// TestDeterministicSchedule: same plan, same draw sequence ⇒ identical
+// fault schedule; and arming one class does not consume PRNG draws for
+// another (so a link-only plan's schedule is independent of, say, the
+// doorbell classes being probed).
+func TestDeterministicSchedule(t *testing.T) {
+	plan, _ := ParsePlan("seed=11,link=0.5,dma=0.5")
+	type event struct {
+		spike, derate, dma sim.Time
+	}
+	run := func(probeOthers bool) []event {
+		f := NewInjector(plan)
+		var out []event
+		for i := 0; i < 200; i++ {
+			var e event
+			e.spike, e.derate = f.LinkFault()
+			if probeOthers {
+				// Unarmed classes must not consume the PRNG.
+				f.DoorbellDropped()
+				f.PipelineStall()
+				f.CachePressure()
+			}
+			e.dma = f.DMADelay()
+			out = append(out, e)
+		}
+		return out
+	}
+	a, b, c := run(false), run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			t.Fatalf("draw %d perturbed by probing unarmed classes: %+v vs %+v", i, a[i], c[i])
+		}
+	}
+}
+
+func TestInjectionRateAndStats(t *testing.T) {
+	plan, _ := ParsePlan("seed=5,dbdrop=0.25")
+	f := NewInjector(plan)
+	drops := 0
+	for i := 0; i < 4000; i++ {
+		if f.DoorbellDropped() {
+			drops++
+		}
+	}
+	if drops < 800 || drops > 1200 {
+		t.Errorf("dbdrop=0.25 fired %d/4000 times", drops)
+	}
+	if got := f.Stats().Injected[DoorbellDrop]; got != int64(drops) {
+		t.Errorf("stats recorded %d, observed %d", got, drops)
+	}
+	if f.Stats().Total() != int64(drops) {
+		t.Errorf("total %d, want %d", f.Stats().Total(), drops)
+	}
+	f.Stats().NoteRering()
+	f.Stats().NoteRetransmit()
+	rep := f.Stats().Format()
+	for _, frag := range []string{"dbdrop", "rerings=1", "retransmits=1"} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("stats report missing %q:\n%s", frag, rep)
+		}
+	}
+}
+
+func TestSpansWithinBounds(t *testing.T) {
+	plan, _ := ParsePlan("seed=2,all=1")
+	f := NewInjector(plan)
+	for i := 0; i < 500; i++ {
+		if s, d := f.LinkFault(); s < 100*sim.Nanosecond || s >= 300*sim.Nanosecond ||
+			d < 200*sim.Nanosecond || d >= 600*sim.Nanosecond {
+			t.Fatalf("link fault out of range: spike=%v derate=%v", s, d)
+		}
+		if r := f.ReplayDelay(); r < 300*sim.Nanosecond || r >= sim.Microsecond {
+			t.Fatalf("replay out of range: %v", r)
+		}
+		if st := f.PipelineStall(); st < 500*sim.Nanosecond || st >= 2*sim.Microsecond {
+			t.Fatalf("stall out of range: %v", st)
+		}
+		if d := f.DMADelay(); d < 200*sim.Nanosecond || d >= 800*sim.Nanosecond {
+			t.Fatalf("dma delay out of range: %v", d)
+		}
+		if c := f.CachePressure(); c < 20*sim.Nanosecond || c >= 100*sim.Nanosecond {
+			t.Fatalf("cache pressure out of range: %v", c)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	want := []string{"link", "replay", "dbdrop", "dbdup", "stall", "dma", "cache"}
+	if int(NumClasses) != len(want) {
+		t.Fatalf("NumClasses=%d, want %d", NumClasses, len(want))
+	}
+	for i, w := range want {
+		if got := Class(i).String(); got != w {
+			t.Errorf("Class(%d)=%q want %q", i, got, w)
+		}
+	}
+	if !strings.Contains(Class(99).String(), "99") {
+		t.Error("unknown class string")
+	}
+	if got := Classes(); len(got) != int(NumClasses) || got[0] != LinkCorrupt {
+		t.Errorf("Classes() = %v", got)
+	}
+}

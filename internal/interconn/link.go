@@ -5,7 +5,10 @@
 // throughput saturation and loaded-latency growth in the end-to-end results.
 package interconn
 
-import "ccnic/internal/sim"
+import (
+	"ccnic/internal/fault"
+	"ccnic/internal/sim"
+)
 
 // Direction of a transfer across the link.
 type Direction int
@@ -26,6 +29,14 @@ type Link struct {
 
 	res   [2]sim.Resource
 	stats Stats
+
+	// flt is the optional fault injector; nil in normal runs. A flit
+	// corruption adds a link-level retry spike to the affected transfer
+	// and derates bandwidth until deratedUntil while the retry queue
+	// drains. Faults only ever lengthen occupancy, so BusyUntil stays
+	// monotonic and every invariant holds with faults armed.
+	flt          *fault.Injector
+	deratedUntil sim.Time
 }
 
 // Stats aggregates link traffic.
@@ -47,11 +58,37 @@ func New(bytesPerNs float64, header, ctrlMsg int) *Link {
 // Bandwidth returns the per-direction bandwidth in bytes per nanosecond.
 func (l *Link) Bandwidth() float64 { return l.bytesPerNs }
 
+// SetFaults arms (or, with nil, disarms) the fault injector on the link.
+func (l *Link) SetFaults(f *fault.Injector) { l.flt = f }
+
 // serialize converts a wire size to link occupancy time.
 //
 //ccnic:noalloc
 func (l *Link) serialize(wireBytes int) sim.Time {
 	return sim.Time(float64(wireBytes) / l.bytesPerNs * float64(sim.Nanosecond))
+}
+
+// holdFor computes the link occupancy for a wire-size transfer at time
+// now, including fault effects: a 50% serialization penalty inside an
+// active derating window, plus — on a fresh flit-corruption draw — a
+// retry latency spike and an extension of the derating window.
+//
+//ccnic:noalloc
+func (l *Link) holdFor(now sim.Time, wireBytes int) sim.Time {
+	hold := l.serialize(wireBytes)
+	if l.flt == nil {
+		return hold
+	}
+	if now < l.deratedUntil {
+		hold += hold / 2
+	}
+	if spike, derate := l.flt.LinkFault(); spike > 0 { //ccnic:alloc-ok seeded PRNG draw; audited allocation-free
+		hold += spike
+		if until := now + derate; until > l.deratedUntil {
+			l.deratedUntil = until
+		}
+	}
+	return hold
 }
 
 // Data reserves link time for a data-carrying message of payloadBytes in the
@@ -64,7 +101,7 @@ func (l *Link) Data(now sim.Time, dir Direction, payloadBytes int) sim.Time {
 	l.stats.DataBytes[dir] += int64(payloadBytes)
 	l.stats.WireBytes[dir] += int64(wire)
 	l.stats.Messages[dir]++
-	return l.res[dir].Acquire(now, l.serialize(wire))
+	return l.res[dir].Acquire(now, l.holdFor(now, wire))
 }
 
 // Ctrl reserves link time for a dataless protocol message (snoop,
@@ -72,7 +109,7 @@ func (l *Link) Data(now sim.Time, dir Direction, payloadBytes int) sim.Time {
 func (l *Link) Ctrl(now sim.Time, dir Direction) sim.Time {
 	l.stats.WireBytes[dir] += int64(l.ctrlMsg)
 	l.stats.Messages[dir]++
-	return l.res[dir].Acquire(now, l.serialize(l.ctrlMsg))
+	return l.res[dir].Acquire(now, l.holdFor(now, l.ctrlMsg))
 }
 
 // Weighted reserves link time for payloadBytes scaled by a protocol
@@ -84,7 +121,7 @@ func (l *Link) Weighted(now sim.Time, dir Direction, payloadBytes int, penalty f
 	l.stats.DataBytes[dir] += int64(payloadBytes)
 	l.stats.WireBytes[dir] += int64(wire)
 	l.stats.Messages[dir]++
-	return l.res[dir].Acquire(now, l.serialize(wire))
+	return l.res[dir].Acquire(now, l.holdFor(now, wire))
 }
 
 // Stats returns a copy of the accumulated traffic statistics.

@@ -113,6 +113,32 @@ type Config struct {
 	Burst   int      // server RX/TX burst (default 32)
 	Warmup  sim.Time // default 50us
 	Measure sim.Time // default 200us
+
+	// StallTimeout is the liveness watchdog on the response TX window:
+	// if a server thread makes zero TX progress for this long, Run
+	// panics with a *StallError naming the queue instead of silently
+	// degrading (the in-flight window equivalent of the kernel's
+	// diagnosable deadlock errors). Default 200us; a legitimate
+	// fault-free stall is bounded by the device's drain rate and is
+	// microseconds at worst.
+	StallTimeout sim.Time
+}
+
+// StallError reports a server thread whose response TX window made no
+// progress for StallTimeout: every TxBurst returned zero while responses
+// were pending. It names the queue, how long it was wedged, and what was
+// outstanding, so a hang diagnoses like a kernel deadlock error rather
+// than reading as low throughput.
+type StallError struct {
+	Queue   int      // wedged server thread / NIC queue index
+	Stalled sim.Time // how long the window made no progress
+	Pending int      // responses still awaiting submission
+	At      sim.Time // simulation time the watchdog fired
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("kvstore: server queue %d TX window stalled for %v with %d responses pending at t=%v",
+		e.Queue, e.Stalled, e.Pending, e.At)
 }
 
 // Result is the benchmark outcome.
@@ -180,6 +206,9 @@ func Run(cfg Config) Result {
 	if cfg.Measure == 0 {
 		cfg.Measure = 200 * sim.Microsecond
 	}
+	if cfg.StallTimeout == 0 {
+		cfg.StallTimeout = 200 * sim.Microsecond
+	}
 	k := cfg.Sys.Kernel()
 	nq := cfg.Dev.NumQueues()
 	if len(cfg.Hosts) != nq {
@@ -204,6 +233,9 @@ func Run(cfg Config) Result {
 	warmupEnd := k.Now() + cfg.Warmup
 	type counters struct{ gets, sets int64 }
 	cs := make([]counters, nq)
+
+	// First watchdog trip wins; procs run serialized under the kernel.
+	var stalled *StallError
 
 	// Throughput is what the NIC transmits, not what servers enqueue:
 	// ring backlog must not count. Snapshot device TX counters at the
@@ -273,14 +305,13 @@ func Run(cfg Config) Result {
 					}
 				}
 				q.Release(p, rx[:got])
-				sent := 0
-				for sent < len(resp) && p.Now() < end {
-					n := q.TxBurst(p, resp[sent:])
-					if n == 0 {
-						p.Sleep(100 * sim.Nanosecond)
-						continue
+				sent, err := sendResponses(p, &cfg, q, i, resp, end)
+				if err != nil {
+					if stalled == nil {
+						stalled = err
 					}
-					sent += n
+					q.Port().FreeBurst(p, resp[sent:])
+					return
 				}
 				if sent < len(resp) {
 					q.Port().FreeBurst(p, resp[sent:])
@@ -299,6 +330,9 @@ func Run(cfg Config) Result {
 	if err := k.RunUntil(deadline + sim.Millisecond); err != nil {
 		panic(fmt.Sprintf("kvstore: %v", err))
 	}
+	if stalled != nil {
+		panic(stalled)
+	}
 
 	var res Result
 	var transmitted int64
@@ -309,6 +343,65 @@ func Run(cfg Config) Result {
 	}
 	res.OpsPerSec = float64(transmitted) / cfg.Measure.Seconds()
 	return res
+}
+
+// sendResponses pushes a response burst to the NIC, returning how many
+// were accepted. Fault-free, any zero-progress attempt is a short
+// fixed-interval poll (the pre-existing behavior, so golden transcripts
+// are unchanged) under the StallTimeout watchdog. With a fault plan
+// armed, zero-progress attempts use exponential backoff and a bounded
+// retry budget: once the budget is spent — comfortably past the driver's
+// doorbell re-ring — the remainder is dropped as timed out, the client's
+// retry being the recovery path. A non-nil *StallError means the
+// watchdog fired; the caller owns resp[sent:].
+func sendResponses(p *sim.Proc, cfg *Config, q device.Queue, queue int, resp []*bufpool.Buf, end sim.Time) (int, *StallError) {
+	flt := cfg.Sys.Faults()
+	st := flt.Stats()
+	const base = 100 * sim.Nanosecond
+	sent := 0
+	backoff := base
+	misses := 0
+	stallStart := sim.Time(-1)
+	for sent < len(resp) && p.Now() < end {
+		n := q.TxBurst(p, resp[sent:])
+		if n == 0 {
+			now := p.Now()
+			if stallStart < 0 {
+				stallStart = now
+			} else if now-stallStart >= cfg.StallTimeout {
+				return sent, &StallError{
+					Queue:   queue,
+					Stalled: now - stallStart,
+					Pending: len(resp) - sent,
+					At:      now,
+				}
+			}
+			if flt != nil {
+				misses++
+				if misses > 8 {
+					// Request timeout: drop the remainder.
+					for range resp[sent:] {
+						st.NoteDrop()
+					}
+					return sent, nil
+				}
+				st.NoteBackoff()
+				p.Sleep(backoff)
+				backoff *= 2
+			} else {
+				p.Sleep(base)
+			}
+			continue
+		}
+		if flt != nil && stallStart >= 0 {
+			st.NoteRetry()
+		}
+		stallStart = -1
+		backoff = base
+		misses = 0
+		sent += n
+	}
+	return sent, nil
 }
 
 // headerLines returns the first line of each request for header touching.

@@ -1,0 +1,130 @@
+package kvstore
+
+import (
+	"strings"
+	"testing"
+
+	"ccnic/internal/bufpool"
+	"ccnic/internal/coherence"
+	"ccnic/internal/device"
+	"ccnic/internal/fault"
+	"ccnic/internal/platform"
+	"ccnic/internal/sim"
+	"ccnic/internal/traffic"
+)
+
+// wedgeDev is a device whose RX side delivers requests normally but whose
+// TX side never accepts a packet — the pathological stall the in-flight
+// window watchdog exists to diagnose. Implements device.Device and
+// device.Injector.
+type wedgeDev struct {
+	q *wedgeQueue
+}
+
+type wedgeQueue struct {
+	port *bufpool.Port
+}
+
+func newWedgeDev(sys *coherence.System, h *coherence.Agent) *wedgeDev {
+	pool := bufpool.New(bufpool.Config{
+		Sys: sys, Home: 0, BigCount: 512, BigSize: 4096, Recycle: true,
+	})
+	return &wedgeDev{q: &wedgeQueue{port: pool.Attach(h)}}
+}
+
+func (d *wedgeDev) Name() string                              { return "wedge" }
+func (d *wedgeDev) NumQueues() int                            { return 1 }
+func (d *wedgeDev) Queue(i int) device.Queue                  { return d.q }
+func (d *wedgeDev) Start()                                    {}
+func (d *wedgeDev) SetIngress(i int, r float64, g func() int) {}
+func (d *wedgeDev) TxCount(i int) int64                       { return 0 }
+
+func (q *wedgeQueue) TxBurst(p *sim.Proc, bufs []*bufpool.Buf) int { return 0 }
+
+// RxBurst hands the server a small burst of fresh "requests" every call.
+func (q *wedgeQueue) RxBurst(p *sim.Proc, out []*bufpool.Buf) int {
+	n := 0
+	for n < len(out) && n < 4 {
+		b := q.port.Alloc(p, reqHeader)
+		if b == nil {
+			break
+		}
+		b.Len = reqHeader
+		out[n] = b
+		n++
+	}
+	return n
+}
+
+func (q *wedgeQueue) Release(p *sim.Proc, bufs []*bufpool.Buf) { q.port.FreeBurst(p, bufs) }
+func (q *wedgeQueue) Port() *bufpool.Port                      { return q.port }
+
+func wedgeConfig(sys *coherence.System, dev device.Device, h *coherence.Agent) Config {
+	return Config{
+		Sys:          sys,
+		Dev:          dev,
+		Hosts:        []*coherence.Agent{h},
+		Store:        NewStore(sys, 0, 1000, traffic.FixedSize(256)),
+		Seed:         1,
+		RatePerQueue: 1e6,
+		Warmup:       sim.Microsecond,
+		Measure:      40 * sim.Microsecond,
+	}
+}
+
+// TestStallWatchdogNamesWedgedQueue: a TX path that never accepts a
+// packet must surface as a diagnosable *StallError naming the queue, not
+// as a silent zero-throughput run.
+func TestStallWatchdogNamesWedgedQueue(t *testing.T) {
+	k := sim.New()
+	sys := coherence.NewSystem(k, platform.ICX())
+	h := sys.NewAgent(0, "srv")
+	cfg := wedgeConfig(sys, newWedgeDev(sys, h), h)
+	cfg.StallTimeout = 2 * sim.Microsecond
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run completed silently; want a *StallError panic")
+		}
+		se, ok := r.(*StallError)
+		if !ok {
+			t.Fatalf("panic value %T (%v), want *StallError", r, r)
+		}
+		if se.Queue != 0 || se.Pending == 0 || se.Stalled < cfg.StallTimeout {
+			t.Errorf("StallError fields: %+v", se)
+		}
+		if msg := se.Error(); !strings.Contains(msg, "queue 0") || !strings.Contains(msg, "stalled") {
+			t.Errorf("error message not diagnosable: %q", msg)
+		}
+	}()
+	Run(cfg)
+}
+
+// TestStallDegradedModeUnderFaults: with a fault plan armed, the same
+// wedge is handled by the bounded-retry budget instead — responses time
+// out and drop, the run completes, and the recovery counters record it.
+func TestStallDegradedModeUnderFaults(t *testing.T) {
+	k := sim.New()
+	sys := coherence.NewSystem(k, platform.ICX())
+	h := sys.NewAgent(0, "srv")
+	plan, err := fault.ParsePlan("seed=3,stall=0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewInjector(plan)
+	sys.SetFaults(inj)
+	cfg := wedgeConfig(sys, newWedgeDev(sys, h), h)
+
+	res := Run(cfg) // must not panic: degraded mode drops, run survives
+	if res.OpsPerSec != 0 {
+		t.Errorf("wedge device transmitted? OpsPerSec=%v", res.OpsPerSec)
+	}
+	st := inj.Stats()
+	if st.Drops == 0 {
+		t.Error("no degraded-mode drops recorded despite a wedged TX path")
+	}
+	if st.Backoffs == 0 {
+		t.Error("no backoffs recorded despite retries")
+	}
+}

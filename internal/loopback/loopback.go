@@ -154,6 +154,9 @@ func Run(cfg Config) Result {
 					for j := 0; j < n; j++ {
 						cfg.Trace.Mark(traceSeq(i, bufs[j].Seq), trace.Submitted, p.Now())
 					}
+					if n < len(bufs) && cfg.Sys.Faults() != nil {
+						n = retryTx(p, &cfg, q, i, bufs, n)
+					}
 					if n < len(bufs) {
 						q.Port().FreeBurst(p, bufs[n:])
 					}
@@ -227,6 +230,34 @@ func Run(cfg Config) Result {
 	}
 	res.Gbps = res.PPS * float64(cfg.PktSize) * 8 / 1e9
 	return res
+}
+
+// retryTx re-offers a partially accepted TX burst with exponential
+// backoff. Only reached under an armed fault plan — a lost doorbell or a
+// stalled pipeline can leave the ring briefly unreclaimable, and freeing
+// the remainder immediately would convert a transient fault into packet
+// loss. Returns the total number of buffers accepted; the caller frees
+// the rest. Fault-free runs never take this path, keeping the golden
+// transcript byte-identical.
+func retryTx(p *sim.Proc, cfg *Config, q device.Queue, queue int, bufs []*bufpool.Buf, n int) int {
+	st := cfg.Sys.Faults().Stats()
+	backoff := 500 * sim.Nanosecond
+	for attempt := 0; attempt < 4 && n < len(bufs); attempt++ {
+		st.NoteBackoff()
+		p.Sleep(backoff)
+		backoff *= 2
+		m := q.TxBurst(p, bufs[n:])
+		if m == 0 {
+			continue
+		}
+		st.NoteRetry()
+		for j := n; j < n+m; j++ {
+			cfg.Trace.Mark(traceSeq(queue, bufs[j].Seq), trace.Submitted, p.Now())
+			cfg.Trace.Mark(traceSeq(queue, bufs[j].Seq), trace.Retried, p.Now())
+		}
+		n += m
+	}
+	return n
 }
 
 // traceSeq derives a tracer key unique across queues.

@@ -9,6 +9,7 @@
 package pcie
 
 import (
+	"ccnic/internal/fault"
 	"ccnic/internal/platform"
 	"ccnic/internal/sim"
 )
@@ -32,6 +33,11 @@ type Endpoint struct {
 	link [2]sim.Resource
 
 	stats Stats
+
+	// flt is the optional fault injector; nil in normal runs. PCIe
+	// faults are transaction-layer replays: the TLP eventually gets
+	// through, just later. Delivery and ordering are untouched.
+	flt *fault.Injector
 }
 
 // CoreMMIO is the per-core MMIO issue state: the write-combining buffer
@@ -81,6 +87,18 @@ func (e *Endpoint) NewCore() *CoreMMIO { return &CoreMMIO{ep: e} }
 // Params returns the endpoint's PCIe parameters.
 func (e *Endpoint) Params() platform.PCIeParams { return e.pp }
 
+// SetFaults arms (or, with nil, disarms) the fault injector on the
+// endpoint. Device models also read it via Faults for doorbell and
+// pipeline fault classes.
+func (e *Endpoint) SetFaults(f *fault.Injector) { e.flt = f }
+
+// Faults returns the armed fault injector, or nil.
+func (e *Endpoint) Faults() *fault.Injector { return e.flt }
+
+// replay returns the transaction-layer replay penalty for one TLP, 0
+// when unarmed or when no fault fires.
+func (e *Endpoint) replay() sim.Time { return e.flt.ReplayDelay() }
+
 // Stats returns a copy of the transaction counters.
 func (e *Endpoint) Stats() Stats { return e.stats }
 
@@ -97,7 +115,7 @@ func (e *Endpoint) serialize(bytes int) sim.Time {
 func (e *Endpoint) MMIORead(p *sim.Proc, bytes int) sim.Time {
 	e.stats.MMIOReads++
 	q := e.link[ToHost].Acquire(p.Now(), e.serialize(bytes))
-	lat := e.pp.MMIOReadLat + q
+	lat := e.pp.MMIOReadLat + q + e.replay()
 	p.Sleep(lat)
 	return lat
 }
@@ -188,7 +206,7 @@ func (e *Endpoint) DMARead(p *sim.Proc, bytes int) sim.Time {
 	e.stats.DMAReads++
 	e.stats.DMABytes[ToDevice] += int64(bytes)
 	q := e.link[ToDevice].Acquire(p.Now(), e.serialize(bytes))
-	lat := e.pp.DMARoundTrip + q + e.serialize(bytes)
+	lat := e.pp.DMARoundTrip + q + e.serialize(bytes) + e.replay()
 	p.Sleep(lat)
 	return lat
 }
@@ -202,7 +220,7 @@ func (e *Endpoint) DMAWrite(p *sim.Proc, bytes int) (issue, delivered sim.Time) 
 	e.stats.DMABytes[ToHost] += int64(bytes)
 	q := e.link[ToHost].Acquire(p.Now(), e.serialize(bytes))
 	issue = q + e.serialize(bytes)
-	delivered = issue + e.pp.OneWay
+	delivered = issue + e.pp.OneWay + e.replay()
 	p.Sleep(issue)
 	return issue, delivered
 }
@@ -214,7 +232,7 @@ func (e *Endpoint) DMAReadAsync(now sim.Time, bytes int) (completeAt sim.Time) {
 	e.stats.DMAReads++
 	e.stats.DMABytes[ToDevice] += int64(bytes)
 	q := e.link[ToDevice].Acquire(now, e.serialize(bytes))
-	return now + q + e.pp.DMARoundTrip + e.serialize(bytes)
+	return now + q + e.pp.DMARoundTrip + e.serialize(bytes) + e.replay()
 }
 
 // DMAWriteAsync issues a posted device write without blocking, returning
@@ -223,7 +241,7 @@ func (e *Endpoint) DMAWriteAsync(now sim.Time, bytes int) (deliveredAt sim.Time)
 	e.stats.DMAWrites++
 	e.stats.DMABytes[ToHost] += int64(bytes)
 	q := e.link[ToHost].Acquire(now, e.serialize(bytes))
-	return now + q + e.serialize(bytes) + e.pp.OneWay
+	return now + q + e.serialize(bytes) + e.pp.OneWay + e.replay()
 }
 
 // MMIOPropagation is the one-way delay for a posted MMIO write to reach the

@@ -14,6 +14,7 @@ import (
 	"ccnic/internal/bufpool"
 	"ccnic/internal/coherence"
 	"ccnic/internal/device"
+	"ccnic/internal/fault"
 	"ccnic/internal/mem"
 	"ccnic/internal/sim"
 )
@@ -229,13 +230,17 @@ func Run(cfg Config) Result {
 					}
 					a.ScatterWrite(p, respLines(resp))
 					sent := 0
-					for sent < len(resp) && p.Now() < end {
-						m := q.TxBurst(p, resp[sent:])
-						if m == 0 {
-							p.Sleep(100 * sim.Nanosecond)
-							continue
+					if flt := sys.Faults(); flt != nil {
+						sent = retransmit(p, q, flt, resp, end)
+					} else {
+						for sent < len(resp) && p.Now() < end {
+							m := q.TxBurst(p, resp[sent:])
+							if m == 0 {
+								p.Sleep(100 * sim.Nanosecond)
+								continue
+							}
+							sent += m
 						}
-						sent += m
 					}
 					if sent < len(resp) {
 						q.Port().FreeBurst(p, resp[sent:])
@@ -289,6 +294,45 @@ func Run(cfg Config) Result {
 		transmitted += txAtEnd[i] - txAtWarmup[i]
 	}
 	return Result{OpsPerSec: float64(transmitted) / cfg.Measure.Seconds()}
+}
+
+// retransmit pushes a response burst through a TX path that an armed
+// fault plan may have wedged (lost doorbell awaiting the watchdog,
+// stalled pipeline). Zero-progress attempts back off exponentially —
+// the TAS-style retransmission timer — and once the backoff is
+// exhausted the remainder is dropped in degraded mode: the peer's
+// end-to-end retransmission recovers the RPC, and the fast path must
+// not wedge on one stuck queue. Fault-free runs never reach this
+// function, keeping the golden transcript byte-identical.
+func retransmit(p *sim.Proc, q device.Queue, flt *fault.Injector, resp []*bufpool.Buf, end sim.Time) int {
+	st := flt.Stats()
+	const base = 100 * sim.Nanosecond
+	const maxBackoff = 64 * base
+	sent := 0
+	backoff := base
+	for sent < len(resp) && p.Now() < end {
+		m := q.TxBurst(p, resp[sent:])
+		if m == 0 {
+			if backoff > maxBackoff {
+				// Degraded mode: drop the remainder.
+				for range resp[sent:] {
+					st.NoteDrop()
+				}
+				return sent
+			}
+			st.NoteBackoff()
+			p.Sleep(backoff)
+			backoff *= 2
+			continue
+		}
+		if backoff > base {
+			// Progress after at least one backoff: a retransmission.
+			st.NoteRetransmit()
+		}
+		backoff = base
+		sent += m
+	}
+	return sent
 }
 
 func respLines(bufs []*bufpool.Buf) []mem.Addr {

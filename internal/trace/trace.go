@@ -28,6 +28,11 @@ const (
 	Fetched // consumed by the NIC/device
 	Delivered
 	Received
+	// Retried marks a packet whose submission had to be retried (doorbell
+	// re-ring, RPC retransmission, bounded request retry) under an armed
+	// fault plan. Out of lifecycle order on purpose: it is an annotation,
+	// not a pipeline point.
+	Retried
 	numStages
 )
 
@@ -43,6 +48,8 @@ func (s Stage) String() string {
 		return "delivered"
 	case Received:
 		return "received"
+	case Retried:
+		return "retried"
 	}
 	return fmt.Sprintf("Stage(%d)", int(s))
 }
@@ -136,6 +143,7 @@ func (t *Tracer) Report() string {
 		{Fetched, Delivered},
 		{Delivered, Received},
 		{Born, Received},
+		{Born, Retried},
 	}
 	for _, p := range pairs {
 		h := t.StageGap(p.from, p.to)

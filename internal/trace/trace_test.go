@@ -96,7 +96,7 @@ func TestReportContents(t *testing.T) {
 }
 
 func TestStageStrings(t *testing.T) {
-	names := []string{"born", "submitted", "fetched", "delivered", "received"}
+	names := []string{"born", "submitted", "fetched", "delivered", "received", "retried"}
 	for i, want := range names {
 		if got := Stage(i).String(); got != want {
 			t.Errorf("Stage(%d) = %q, want %q", i, got, want)
@@ -104,5 +104,53 @@ func TestStageStrings(t *testing.T) {
 	}
 	if !strings.Contains(Stage(99).String(), "99") {
 		t.Error("unknown stage string")
+	}
+}
+
+// TestRetriedStage exercises sampling with the fault-recovery Retried
+// annotation: retried packets show up in the born->retried gap and in
+// the report, and unsampled packets stay invisible.
+func TestRetriedStage(t *testing.T) {
+	tr := New(4, 100) // every 4th packet
+	for seq := int64(0); seq < 16; seq++ {
+		tr.Mark(seq, Born, sim.Time(seq*1000))
+		tr.Mark(seq, Submitted, sim.Time(seq*1000+100))
+		if seq%8 == 0 { // half the sampled packets get retried
+			tr.Mark(seq, Retried, sim.Time(seq*1000+300))
+		}
+		tr.Mark(seq, Received, sim.Time(seq*1000+500))
+	}
+	if tr.Sampled() != 4 {
+		t.Fatalf("sampled %d, want 4 (every 4th)", tr.Sampled())
+	}
+	g := tr.StageGap(Born, Retried)
+	if g.Count() != 2 || g.Median() != 300 {
+		t.Errorf("born->retried: n=%d median=%v, want n=2 median=300", g.Count(), g.Median())
+	}
+	// Non-retried packets are unaffected.
+	if got := tr.StageGap(Born, Received); got.Count() != 4 {
+		t.Errorf("born->received n=%d, want 4", got.Count())
+	}
+	if out := tr.Report(); !strings.Contains(out, "born -> retried") {
+		t.Errorf("report missing born -> retried:\n%s", out)
+	}
+}
+
+// TestMarkStaysAllocationLight guards the tracing hot path: once a
+// record exists, marking further stages — including the Retried marks a
+// fault-recovery path emits — must not allocate, so tracing can stay
+// enabled with faults armed.
+func TestMarkStaysAllocationLight(t *testing.T) {
+	tr := New(1, 16)
+	tr.Mark(7, Born, 0) // warm: record + order slot exist
+	var at sim.Time
+	avg := testing.AllocsPerRun(1000, func() {
+		at += 10
+		tr.Mark(7, Submitted, at)
+		tr.Mark(7, Retried, at+1)
+		tr.Mark(7, Received, at+2)
+	})
+	if avg != 0 {
+		t.Errorf("Mark allocates %v allocs/op on the steady path, want 0", avg)
 	}
 }
