@@ -4,21 +4,26 @@
 #   make verify       tier-1: go build ./... && go test ./...
 #   make lint         cclint static-analysis suite (detlint, yieldlint,
 #                     probelint, alloclint) over every module package
-#   make race         race detector over the one package with real goroutines
+#   make race         race detector over the packages with real goroutines
+#                     (kernel, parallel shard engine, cluster model)
 #   make bench-smoke  one-iteration pass over the kernel + headline benches,
-#                     then a >3x regression gate vs BENCH_PR1.json (benchgate)
+#                     then the benchgate regression + absolute-floor gates
+#                     vs BENCH_PR6.json (relative factor, events/s floor,
+#                     and the multi-shard cluster trajectory point)
 #   make faults       quick fault matrix: property harness, recovery-path
 #                     tests, and fault experiments with invariants attached
 #   make bench-json   regenerate the host-perf trajectory file (minutes)
 #   make golden-check full suite with online invariant checks, diffed against
 #                     the committed golden transcript (minutes)
+#   make golden-shards golden-check again on 4 concurrent workers (-shards 4):
+#                     the harness-parallel path must stay bit-identical
 #   make golden       regenerate the committed golden transcript and the
 #                     quick-suite output hashes after an intentional model
 #                     change (minutes)
 
 GO ?= go
 
-.PHONY: check verify lint vet race bench-smoke faults bench-json golden-check golden
+.PHONY: check verify lint vet race bench-smoke faults bench-json golden-check golden-shards golden
 
 check: verify lint vet race bench-smoke faults golden-check
 
@@ -35,7 +40,8 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/sim/
+	$(GO) test -race -count=1 ./internal/sim/ ./internal/sim/shard/ ./internal/cluster/
+	$(GO) test -race -count=1 -run 'TestCluster' ./internal/check/prop/
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Kernel|LoopbackCCNIC' -benchtime 1x .
@@ -51,13 +57,18 @@ faults:
 	$(GO) run ./cmd/ccbench -quick -check -faults all=0.01 faults-rate faults-recovery > /dev/null
 
 bench-json:
-	$(GO) run ./cmd/ccbench -all -json BENCH_PR1.json
+	$(GO) run ./cmd/ccbench -all -cluster -json BENCH_PR6.json
 
 # Every experiment at full scale with the invariant engine attached; output
 # must be bit-identical to the committed transcript. ccbench exits 1 on any
 # invariant violation or golden divergence.
 golden-check:
 	$(GO) run ./cmd/ccbench -all -check -golden experiments_full.txt > /dev/null
+
+# The same golden diff with the experiment harness fanned out over four
+# workers: parallel scheduling must not perturb a single byte of output.
+golden-shards:
+	$(GO) run ./cmd/ccbench -shards 4 -all -check -golden experiments_full.txt > /dev/null
 
 # Regenerate the goldens. Run only after an intentional model change, and
 # review the transcript diff like source.

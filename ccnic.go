@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"ccnic/internal/bufpool"
+	"ccnic/internal/cluster"
 	"ccnic/internal/coherence"
 	"ccnic/internal/device"
 	"ccnic/internal/fault"
@@ -126,6 +127,14 @@ type Config struct {
 	// SetDefaultFaults; an unarmed plan injects nothing and leaves every
 	// transcript byte-identical to a fault-free run.
 	Faults *fault.Plan
+
+	// Shards selects the parallel shard-engine partition. A Testbed is one
+	// coherence domain — descriptor rings, doorbells, and payload lines
+	// interleave at cacheline granularity with no latency seam to cut — so
+	// it is exactly one shard by construction: NewTestbed accepts 0 or 1
+	// and rejects anything larger, pointing at NewCluster, which partitions
+	// a multi-host deployment at its fabric boundaries.
+	Shards int
 }
 
 // defaultFaults is applied to testbeds whose Config.Faults is nil; set
@@ -159,6 +168,9 @@ type Testbed struct {
 // configurations (programmer error), matching the package's
 // construction-time validation style.
 func NewTestbed(cfg Config) *Testbed {
+	if cfg.Shards > 1 {
+		panic(fmt.Sprintf("ccnic: a testbed is a single coherence domain (one shard); use NewCluster for a %d-shard topology", cfg.Shards))
+	}
 	plat := cfg.Plat
 	if plat == nil {
 		name := cfg.Platform
@@ -285,6 +297,23 @@ func (tb *Testbed) RunLoopbackTraced(opt LoopbackOptions, tr *trace.Tracer) Loop
 		Trace:   tr,
 	})
 }
+
+// ClusterConfig re-exports the multi-host cluster configuration: member
+// count, shard partition, worker budget, and workload knobs. See
+// internal/cluster for the partition-invariance contract.
+type ClusterConfig = cluster.Config
+
+// Cluster is a multi-host CC-NIC deployment running on the parallel shard
+// engine (internal/sim/shard): one shard per node group, synchronized
+// conservatively at the fabric's declared minimum latency.
+type Cluster = cluster.Cluster
+
+// ClusterReport re-exports the cluster run summary.
+type ClusterReport = cluster.Report
+
+// NewCluster assembles a multi-host deployment. Results are bit-identical
+// for every Shards and Workers value; only wall-clock time varies.
+func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
 
 // Histogram re-exports the latency histogram type.
 type Histogram = stats.Histogram

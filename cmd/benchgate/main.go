@@ -1,14 +1,25 @@
-// Command benchgate guards CI against gross host-performance regressions.
-// It re-measures a handful of event-heavy experiments in quick mode and
-// compares the achieved simulation rate (events/sec) against the committed
-// perf-trajectory baseline (BENCH_PR1.json). The gate trips only on a large
-// regression — the default factor of 3 absorbs machine-to-machine variance
-// and quick-mode scale effects while still catching an accidentally
-// quadratic hot path or a lost zero-alloc property.
+// Command benchgate guards CI against host-performance regressions with two
+// independent checks:
+//
+//   - A relative gate: it re-measures event-heavy experiments in quick mode
+//     (best of three, to damp shared-runner noise) and fails when the
+//     committed perf-trajectory baseline exceeds the achieved rate by more
+//     than -factor. The default factor of 3 absorbs machine-to-machine
+//     variance and quick-mode scale effects while still catching an
+//     accidentally quadratic hot path or a lost zero-alloc property.
+//
+//   - An absolute ratchet: every re-measured rate must clear -floor
+//     events/s, and the baseline's multi_shard record (the parallel shard
+//     engine's cluster trajectory point, BENCH_PR6.json onward) must clear
+//     -msfloor events/s. The relative gate alone would drift downward if a
+//     slow baseline were ever committed; the floors cannot.
+//
+// The multi-shard point is additionally re-measured with a short cluster
+// run and held to the same relative factor.
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_PR1.json [-factor 3] [id...]
+//	benchgate -baseline BENCH_PR6.json [-factor 3] [-floor 2e5] [-msfloor 5.73e6] [id...]
 package main
 
 import (
@@ -16,8 +27,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
 
+	"ccnic/internal/cluster"
 	"ccnic/internal/experiments"
+	"ccnic/internal/sim"
 )
 
 // baselineFile mirrors the subset of the ccbench -json schema the gate needs.
@@ -27,11 +43,23 @@ type baselineFile struct {
 		ID           string  `json:"id"`
 		EventsPerSec float64 `json:"events_per_sec"`
 	} `json:"experiments"`
+	MultiShard *struct {
+		Shards       int     `json:"shards"`
+		Hosts        int     `json:"hosts"`
+		EventsPerSec float64 `json:"events_per_sec"`
+	} `json:"multi_shard"`
 }
 
 func main() {
-	basePath := flag.String("baseline", "BENCH_PR1.json", "perf-trajectory `file` written by ccbench -json")
+	// Match ccbench's GC policy so gate measurements are comparable to the
+	// committed trajectory records.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
+	basePath := flag.String("baseline", "BENCH_PR6.json", "perf-trajectory `file` written by ccbench -json")
 	factor := flag.Float64("factor", 3.0, "fail when baseline/current exceeds this ratio")
+	floor := flag.Float64("floor", 2e5, "fail when any re-measured experiment rate falls below `min` events/s")
+	msFloor := flag.Float64("msfloor", 5.73e6, "fail when the baseline multi_shard rate falls below `min` events/s (0 disables)")
 	flag.Parse()
 
 	// Default to experiments whose full-scale runs execute tens of millions
@@ -65,20 +93,70 @@ func main() {
 		if !ok || want <= 0 {
 			fatalf("benchgate: %s has no baseline rate in %s", id, *basePath)
 		}
-		_, cost := experiments.Measure(e, experiments.Options{Quick: true})
-		ratio := want / cost.EventsPerSec
+		// Best of three: the gate asks "can this build still go fast", so
+		// the least-disturbed run is the right sample on noisy CI machines.
+		var rate float64
+		for try := 0; try < 3; try++ {
+			_, cost := experiments.Measure(e, experiments.Options{Quick: true})
+			if cost.EventsPerSec > rate {
+				rate = cost.EventsPerSec
+			}
+		}
+		ratio := want / rate
 		verdict := "ok"
+		if ratio > *factor || rate < *floor {
+			verdict = "FAIL"
+			bad++
+		}
+		fmt.Printf("%-8s baseline %6.2fM ev/s, current %6.2fM ev/s, ratio %.2fx, floor %.2fM [%s]\n",
+			id, want/1e6, rate/1e6, ratio, *floor/1e6, verdict)
+	}
+
+	// Multi-shard gate: the committed trajectory point must clear the
+	// absolute floor, and a short cluster re-run must stay within the
+	// relative factor of it.
+	if *msFloor > 0 {
+		ms := base.MultiShard
+		if ms == nil {
+			fatalf("benchgate: %s has no multi_shard record (regenerate with ccbench -cluster -json)", *basePath)
+		}
+		verdict := "ok"
+		if ms.EventsPerSec < *msFloor {
+			verdict = "FAIL"
+			bad++
+		}
+		fmt.Printf("%-8s committed %6.2fM ev/s (%d shards, %d hosts), floor %.2fM [%s]\n",
+			"cluster", ms.EventsPerSec/1e6, ms.Shards, ms.Hosts, *msFloor/1e6, verdict)
+
+		workers := runtime.GOMAXPROCS(0)
+		if workers > ms.Hosts {
+			workers = ms.Hosts
+		}
+		var rate float64
+		for try := 0; try < 2; try++ {
+			c := cluster.New(cluster.Config{Hosts: ms.Hosts, Workers: workers})
+			start := time.Now()
+			if err := c.Run(2 * sim.Millisecond); err != nil {
+				fatalf("benchgate: cluster: %v", err)
+			}
+			if r := float64(c.Events()) / time.Since(start).Seconds(); r > rate {
+				rate = r
+			}
+		}
+		ratio := ms.EventsPerSec / rate
+		verdict = "ok"
 		if ratio > *factor {
 			verdict = "FAIL"
 			bad++
 		}
 		fmt.Printf("%-8s baseline %6.2fM ev/s, current %6.2fM ev/s, ratio %.2fx [%s]\n",
-			id, want/1e6, cost.EventsPerSec/1e6, ratio, verdict)
+			"cluster", ms.EventsPerSec/1e6, rate/1e6, ratio, verdict)
 	}
+
 	if bad > 0 {
-		fatalf("benchgate: %d of %d experiments regressed by more than %.1fx vs %s", bad, len(ids), *factor, *basePath)
+		fatalf("benchgate: %d gate(s) failed vs %s (factor %.1fx, floor %.2gM ev/s)", bad, *basePath, *factor, *floor/1e6)
 	}
-	fmt.Printf("benchgate: %d experiments within %.1fx of %s\n", len(ids), *factor, *basePath)
+	fmt.Printf("benchgate: all gates passed vs %s\n", *basePath)
 }
 
 func fatalf(format string, args ...any) {

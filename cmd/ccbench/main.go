@@ -21,13 +21,16 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"time"
 
 	"ccnic"
 	"ccnic/internal/check"
+	"ccnic/internal/cluster"
 	"ccnic/internal/experiments"
+	"ccnic/internal/sim"
 )
 
 // benchFile is the schema of the -json output: one record per experiment
@@ -40,6 +43,20 @@ type benchFile struct {
 	Quick       bool                 `json:"quick"`
 	Experiments []benchRecord        `json:"experiments"`
 	Total       experiments.HostCost `json:"total"`
+	// MultiShard is the parallel shard-engine trajectory point: the
+	// multi-host cluster scenario's aggregate simulation rate (written
+	// by -cluster; BENCH_PR6.json onward).
+	MultiShard *multiShardRecord `json:"multi_shard,omitempty"`
+}
+
+type multiShardRecord struct {
+	Shards       int     `json:"shards"` // model partition (one per host)
+	Workers      int     `json:"workers"`
+	Hosts        int     `json:"hosts"`
+	SimEvents    uint64  `json:"sim_events"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	RPCs         int64   `json:"rpcs"`
 }
 
 type benchRecord struct {
@@ -49,6 +66,13 @@ type benchRecord struct {
 }
 
 func main() {
+	// The simulations retain little memory between GC cycles relative to
+	// how fast they allocate warm-up objects; the default GOGC=100 spends
+	// >10% of wall time re-scanning the stable page tables. Honors an
+	// explicit GOGC from the environment.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
 	list := flag.Bool("list", false, "list experiments and exit")
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "reduced scale: fewer cores, points, and shorter windows")
@@ -59,6 +83,9 @@ func main() {
 	goldenPath := flag.String("golden", "", "diff each experiment's output against golden `file`; exit 1 on any mismatch")
 	hashesPath := flag.String("hashes", "", "write a JSON map of experiment id -> sha256 of normalized output to `file`")
 	faultsSpec := flag.String("faults", "", "arm a deterministic fault `plan`, e.g. \"seed=7,dbdrop=0.01\" or \"all=0.005\" (see internal/fault)")
+	shardsFlag := flag.Int("shards", 1, "worker budget: `N` > 1 runs experiments on N concurrent workers (output and checks are order-preserving and bit-identical to serial runs) and parallelizes -cluster")
+	clusterFlag := flag.Bool("cluster", false, "run the multi-host cluster scenario on the parallel shard engine and record its aggregate rate (the multi_shard trajectory point)")
+	hostsFlag := flag.Int("hosts", 0, "cluster member nodes for -cluster (default max(shards, 8))")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ccbench [-quick] [-json file] [-all | -list | <id>...]\n\n")
 		fmt.Fprintf(os.Stderr, "Regenerates the CC-NIC paper's evaluation tables and figures.\n\n")
@@ -81,9 +108,12 @@ func main() {
 	} else {
 		ids = flag.Args()
 	}
-	if len(ids) == 0 {
+	if len(ids) == 0 && !*clusterFlag {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *shardsFlag < 1 {
+		*shardsFlag = 1
 	}
 
 	// Resolve every ID and open every output file before running anything:
@@ -120,8 +150,10 @@ func main() {
 	if *hashesPath != "" {
 		hashes = make(map[string]string)
 	}
+	var plan *ccnic.FaultPlan
 	if *faultsSpec != "" {
-		plan, err := ccnic.ParseFaultPlan(*faultsSpec)
+		var err error
+		plan, err = ccnic.ParseFaultPlan(*faultsSpec)
 		if err != nil {
 			fatalf("ccbench: %v", err)
 		}
@@ -157,9 +189,53 @@ func main() {
 	}
 	opt := experiments.Options{Quick: *quick}
 	goldenBad := 0
-	for _, e := range exps {
-		report, cost := experiments.Measure(e, opt)
-		section := experiments.Section(e, report)
+
+	// With -shards > 1, experiments run on N concurrent workers. Results
+	// are consumed strictly in registration order, so output, golden
+	// diffs, and hashes are bit-identical to a serial run (every
+	// experiment owns its kernels; the per-experiment timing trailer is
+	// normalized away). Per-experiment host-cost records overlap in wall
+	// time under concurrency, so serial runs remain the reference for the
+	// per-experiment perf trajectory.
+	type expResult struct {
+		section string
+		cost    experiments.HostCost
+	}
+	results := make([]chan expResult, len(exps))
+	for i := range results {
+		results[i] = make(chan expResult, 1)
+	}
+	workers := *shardsFlag
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers > 1 && *jsonPath != "" {
+		fmt.Fprintf(os.Stderr, "ccbench: note: per-experiment rates overlap under -shards %d; use a serial run for trajectory records\n", *shardsFlag)
+	}
+	if workers > 1 {
+		next := make(chan int, len(exps))
+		for i := range exps {
+			next <- i
+		}
+		close(next)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for i := range next {
+					report, cost := experiments.Measure(exps[i], opt)
+					results[i] <- expResult{experiments.Section(exps[i], report), cost}
+				}
+			}()
+		}
+	}
+	for i, e := range exps {
+		var r expResult
+		if workers > 1 {
+			r = <-results[i]
+		} else {
+			report, cost := experiments.Measure(e, opt)
+			r = expResult{experiments.Section(e, report), cost}
+		}
+		section, cost := r.section, r.cost
 		fmt.Print(section)
 		fmt.Printf("[%s completed in %s | %.2fM sim events, %.2fM events/s, %.2f allocs/event]\n\n",
 			e.ID, time.Duration(cost.WallSeconds*float64(time.Second)).Round(time.Millisecond),
@@ -198,6 +274,50 @@ func main() {
 			fatalf("ccbench: golden: %d of %d experiments diverged from %s", goldenBad, len(exps), *goldenPath)
 		}
 		fmt.Fprintf(os.Stderr, "ccbench: golden: %d experiments bit-identical to %s\n", len(exps), *goldenPath)
+	}
+
+	if *clusterFlag {
+		hosts := *hostsFlag
+		if hosts == 0 {
+			hosts = *shardsFlag
+			if hosts < 8 {
+				hosts = 8
+			}
+		}
+		until := 40 * sim.Millisecond
+		if *quick {
+			until = 4 * sim.Millisecond
+		}
+		// Worker count never affects results (the engine guarantees it), so
+		// cap it at the machine's parallelism: extra workers beyond
+		// GOMAXPROCS only add scheduling overhead to the measurement.
+		clusterWorkers := *shardsFlag
+		if mp := runtime.GOMAXPROCS(0); clusterWorkers > mp {
+			clusterWorkers = mp
+		}
+		c := cluster.New(cluster.Config{Hosts: hosts, Workers: clusterWorkers, Faults: plan})
+		start := time.Now()
+		if err := c.Run(until); err != nil {
+			fatalf("ccbench: cluster: %v", err)
+		}
+		wall := time.Since(start)
+		rep := c.Report()
+		events := c.Events()
+		rate := float64(events) / wall.Seconds()
+		fmt.Printf("== cluster: %d-host fabric on the parallel shard engine (%d shards, %d workers)\n",
+			hosts, rep.Shards, clusterWorkers)
+		fmt.Print(rep)
+		fmt.Printf("[cluster completed in %s | %.2fM sim events, %.2fM events/s aggregate]\n\n",
+			wall.Round(time.Millisecond), float64(events)/1e6, rate/1e6)
+		out.MultiShard = &multiShardRecord{
+			Shards:       rep.Shards,
+			Workers:      clusterWorkers,
+			Hosts:        hosts,
+			SimEvents:    events,
+			WallSeconds:  wall.Seconds(),
+			EventsPerSec: rate,
+			RPCs:         rep.Done,
+		}
 	}
 
 	if jsonFile != nil {

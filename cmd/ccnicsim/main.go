@@ -40,6 +40,8 @@ func main() {
 		doTrace  = flag.Bool("trace", false, "sample packet lifecycles and print a stage breakdown (loopback only)")
 		overlayN = flag.Int("overlay-threads", 0, "overlay forwarding threads (0 = one per queue)")
 		faults   = flag.String("faults", "", "arm a deterministic fault `plan`, e.g. \"seed=7,dbdrop=0.01\" or \"all=0.005\" (see internal/fault)")
+		shards   = flag.Int("shards", 0, "cluster workload: partition the hosts into `N` shards on the parallel engine (0 = one per host; results are identical for every value)")
+		hosts    = flag.Int("hosts", 0, "cluster workload: member node count (default 4)")
 	)
 	flag.Parse()
 
@@ -47,6 +49,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ccnicsim: %v\n", err)
 		os.Exit(1)
+	}
+
+	// The cluster workload is a multi-host topology on the parallel shard
+	// engine, not a single testbed: handle it before testbed assembly.
+	if *workload == "cluster" {
+		runCluster(*hosts, *shards, *window, *pkt, *measure, plan)
+		return
 	}
 
 	iface, ok := map[string]ccnic.Interface{
@@ -143,5 +152,31 @@ func main() {
 		c0.RemoteRead, c0.RemoteRFO, c1.RemoteRead, c1.RemoteRFO)
 	if flt := tb.Sys.Faults(); flt != nil {
 		fmt.Printf("\n%s", flt.Stats().Format())
+	}
+}
+
+// runCluster drives the multi-host cluster workload on the parallel shard
+// engine and prints its report.
+func runCluster(hosts, shards, window, reqSize int, measureUS float64, plan *ccnic.FaultPlan) {
+	c := ccnic.NewCluster(ccnic.ClusterConfig{
+		Hosts:   hosts,
+		Shards:  shards,
+		Window:  window,
+		ReqSize: reqSize,
+		Faults:  plan,
+	})
+	fmt.Printf("cluster workload on the parallel shard engine (lookahead %v)\n", c.Lookahead())
+	if plan != nil {
+		fmt.Printf("fault plan armed: %s\n", plan)
+	}
+	fmt.Println()
+	if err := c.Run(sim.Time(measureUS * float64(sim.Microsecond))); err != nil {
+		fmt.Fprintf(os.Stderr, "ccnicsim: cluster: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(c.Report())
+	st := c.FaultStats()
+	if st.Total() > 0 {
+		fmt.Printf("\n%s", st.Format())
 	}
 }

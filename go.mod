@@ -1,5 +1,5 @@
 module ccnic
 
-go 1.22
+go 1.23
 
 toolchain go1.24.0

@@ -143,12 +143,17 @@ func New(cfg Config) *Pool {
 	sp := cfg.Sys.Space()
 	base := sp.Alloc(cfg.Home, cfg.BigCount*cfg.BigSize, mem.Addr(cfg.BigSize))
 	order := fillOrder(cfg.BigCount, cfg.Sequential)
-	for _, i := range order {
-		pl.seedBig = append(pl.seedBig, &Buf{
-			Addr: base + mem.Addr(i*cfg.BigSize),
-			Cap:  cfg.BigSize,
-			pool: pl,
-		})
+	// One backing array for the whole seed population: pool construction
+	// happens per simulation, and per-Buf allocations dominated the
+	// allocator profile.
+	bufs := make([]Buf, len(order))
+	pl.seedBig = make([]*Buf, 0, len(order))
+	for k, i := range order {
+		b := &bufs[k]
+		b.Addr = base + mem.Addr(i*cfg.BigSize)
+		b.Cap = cfg.BigSize
+		b.pool = pl
+		pl.seedBig = append(pl.seedBig, b)
 	}
 	pl.totalBufs = cfg.BigCount
 	return pl

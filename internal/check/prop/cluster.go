@@ -1,0 +1,79 @@
+package prop
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccnic/internal/cluster"
+	"ccnic/internal/fault"
+	"ccnic/internal/sim"
+)
+
+// ClusterScenario is one generated multi-host configuration for the parallel
+// shard engine. Its property surface is stronger than the single-kernel
+// scenarios': beyond run-twice determinism, the same cluster must produce
+// bit-identical results under every partition (shard count) and every worker
+// count — the conservative-synchronization contract of internal/sim/shard.
+type ClusterScenario struct {
+	Seed    int64
+	Hosts   int
+	Window  int
+	ReqSize int
+	Faults  string // fault.ParsePlan spec; "" runs fault-free
+}
+
+func (sc ClusterScenario) String() string {
+	s := fmt.Sprintf("seed=%d hosts=%d win=%d req=%d", sc.Seed, sc.Hosts, sc.Window, sc.ReqSize)
+	if sc.Faults != "" {
+		s += " faults=" + sc.Faults
+	}
+	return s
+}
+
+// GenerateCluster derives a cluster scenario deterministically from seed.
+func GenerateCluster(seed int64) ClusterScenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := ClusterScenario{Seed: seed}
+	sc.Hosts = 2 + rng.Intn(5)                          // 2..6 nodes
+	sc.Window = [...]int{4, 8, 16, 32}[rng.Intn(4)]     // closed-loop depth
+	sc.ReqSize = [...]int{256, 1024, 4096}[rng.Intn(3)] // RPC payload
+	if rng.Intn(3) == 0 {
+		sc.Faults = fmt.Sprintf("seed=%d,stall=0.01,dma=0.01,link=0.01", seed)
+	}
+	return sc
+}
+
+// RunShards executes the scenario under the given partition and worker
+// budget and returns a fingerprint of everything observable in the model:
+// aggregate and per-node counters and latency quantiles. Kernel event counts
+// are deliberately excluded — they are runtime mechanics, not model results,
+// and legitimately differ between partitions (see internal/cluster).
+func (sc ClusterScenario) RunShards(shards, workers int) string {
+	cfg := cluster.Config{
+		Hosts:   sc.Hosts,
+		Shards:  shards,
+		Workers: workers,
+		Window:  sc.Window,
+		ReqSize: sc.ReqSize,
+	}
+	if sc.Faults != "" {
+		plan, err := fault.ParsePlan(sc.Faults)
+		if err != nil {
+			panic("prop: bad cluster fault plan: " + err.Error())
+		}
+		cfg.Faults = plan
+	}
+	c := cluster.New(cfg)
+	if err := c.Run(120 * sim.Microsecond); err != nil {
+		panic(fmt.Sprintf("prop: cluster %s: %v", sc, err))
+	}
+	r := c.Report()
+	fp := fmt.Sprintf("sent=%d served=%d done=%d p50=%d p99=%d", r.Sent, r.Served, r.Done, r.P50, r.P99)
+	for _, n := range c.Nodes {
+		fp += fmt.Sprintf(" [n sent=%d served=%d done=%d med=%d max=%d]",
+			n.Sent, n.Served, n.Done, n.Lat.Median(), n.Lat.Max())
+	}
+	st := c.FaultStats()
+	fp += fmt.Sprintf(" injected=%d", st.Total())
+	return fp
+}

@@ -1,0 +1,61 @@
+package prop
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestClusterShardCountInvariance is the randomized form of the parallel
+// engine's core guarantee: for every generated cluster configuration, the
+// 1-shard (sequential, single-partition) run, the 2-shard run, and the
+// fully partitioned 4-shard run — across worker counts — produce
+// bit-identical model results.
+func TestClusterShardCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario sweep")
+	}
+	faulted := 0
+	for seed := int64(1); seed <= 8; seed++ {
+		sc := GenerateCluster(seed)
+		if sc.Faults != "" {
+			faulted++
+		}
+		t.Run(sc.String(), func(t *testing.T) {
+			t.Parallel()
+			ref := sc.RunShards(1, 1)
+			for _, shards := range []int{2, 4} {
+				for _, workers := range []int{1, shards} {
+					if got := sc.RunShards(shards, workers); got != ref {
+						t.Fatalf("shards=%d workers=%d diverges:\n 1-shard: %s\n got:     %s",
+							shards, workers, ref, got)
+					}
+				}
+			}
+			if got := sc.RunShards(1, 1); got != ref {
+				t.Fatalf("run-twice nondeterminism:\n run1: %s\n run2: %s", ref, got)
+			}
+		})
+	}
+	// The sweep must exercise fault-armed clusters, or the invariance claim
+	// silently narrows to fault-free runs.
+	if faulted == 0 {
+		t.Error("generator produced no fault-armed cluster scenarios in 8 seeds")
+	}
+}
+
+// TestClusterProgress guards against a vacuously-invariant harness: every
+// generated scenario must actually complete RPCs on every node.
+func TestClusterProgress(t *testing.T) {
+	sc := GenerateCluster(2)
+	fp := sc.RunShards(4, 2)
+	if fp == "" {
+		t.Fatal("empty fingerprint")
+	}
+	var sent, served, done int64
+	if _, err := fmt.Sscanf(fp, "sent=%d served=%d done=%d", &sent, &served, &done); err != nil {
+		t.Fatalf("unparseable fingerprint %q: %v", fp, err)
+	}
+	if sent == 0 || served == 0 || done == 0 {
+		t.Fatalf("cluster made no progress: %s", fp)
+	}
+}

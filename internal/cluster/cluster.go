@@ -1,0 +1,426 @@
+// Package cluster models a multi-host CC-NIC deployment: M member nodes,
+// each a complete host + NIC pipeline on its own simulation kernel, coupled
+// *only* through a datacenter fabric with a declared minimum latency. That
+// coupling structure is exactly what the parallel shard runtime
+// (internal/sim/shard) needs: each node (or group of nodes) becomes one
+// shard, the fabric's wire latency plus the PCIe attach's one-way
+// propagation is the conservative lookahead, and all cross-node traffic
+// crosses shards through bounded Link FIFOs.
+//
+// The node model is behavioural and deliberately fine-grained in events —
+// per-cacheline payload movement, per-stage pipeline costs from the
+// platform calibration — so a cluster run exercises the simulator the way
+// the single-machine experiments do, at multi-socket scale.
+//
+// # Partition invariance
+//
+// A cluster's results are bit-identical for every shard count and every
+// worker count. Worker invariance comes from the shard engine. Partition
+// invariance (the same cluster cut into 1, 2, or 4 shards) is a property
+// of this model, maintained by construction:
+//
+//   - every timing perturbation (fault draws, service jitter) is drawn on
+//     the *sending* node, in request-sequence order, from that node's own
+//     injector stream (fault.Plan.ForShard keyed by the stable node id) —
+//     never in arrival order, which differs between partitions;
+//   - arrival-side handling is per-message (one process per delivery) with
+//     no order-sensitive shared resources: response egress is modeled as
+//     fixed serialization, and window accounting is count-based, so
+//     same-instant arrivals commute.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"ccnic/internal/fault"
+	"ccnic/internal/interconn"
+	"ccnic/internal/pcie"
+	"ccnic/internal/platform"
+	"ccnic/internal/sim"
+	"ccnic/internal/sim/shard"
+	"ccnic/internal/stats"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Hosts is the number of member nodes (>= 2; default 4).
+	Hosts int
+	// Shards is the number of shards the node set is partitioned into:
+	// nodes are grouped contiguously, ceil(Hosts/Shards) per shard.
+	// 0 defaults to one shard per node (the finest partition). Results
+	// are bit-identical for every value.
+	Shards int
+	// Workers is the shard engine's worker-goroutine budget (0 defaults
+	// to Shards; 1 is fully serial). Never affects results.
+	Workers int
+	// Plat selects the member platform (nil = ICX).
+	Plat *platform.Platform
+	// Window is each node's closed-loop outstanding-request window
+	// (default 32).
+	Window int
+	// ReqSize is the RPC request/response payload in bytes (default 4096,
+	// a storage/RDMA-class transfer: payload movement then dominates the
+	// event mix, as it does on real fabrics).
+	ReqSize int
+	// Faults optionally arms fault injection; each node derives its own
+	// stream with Faults.ForShard(node id), so schedules are reproducible
+	// regardless of Shards and Workers.
+	Faults *fault.Plan
+}
+
+// Message is one RPC (or its response) crossing the fabric.
+type Message struct {
+	From, To int
+	Seq      int64
+	Resp     bool
+	Sent     sim.Time // request issue instant, for end-to-end latency
+
+	// Sender-drawn perturbations (see the package comment): a TX pipeline
+	// stall and egress latency spike for the request, a service-side
+	// delay, and an egress spike for the eventual response.
+	txStall, txSpike, svcDelay, respSpike sim.Time
+}
+
+// Node is one cluster member: a host core issuing RPCs, a NIC TX pipeline,
+// and per-message RX/service handling, all on the node's kernel.
+type Node struct {
+	id  int
+	c   *Cluster
+	k   *sim.Kernel
+	shd *shard.Shard
+
+	// port is the node-internal host-NIC interconnect (UPI-class): the
+	// TX pipeline charges it for descriptor+payload movement, so egress
+	// is bandwidth-limited per node.
+	port *interconn.Link
+	// ep is the node's fabric attach point; its one-way propagation is
+	// part of every fabric hop and of the declared lookahead.
+	ep  *pcie.Endpoint
+	flt *fault.Injector
+
+	txq      []Message
+	txHead   int
+	txWake   *sim.Event
+	inFlight int
+	winWake  *sim.Event
+	seq      int64
+
+	// Results (deterministic).
+	Sent, Served, Done int64
+	Lat                stats.Histogram
+}
+
+// Cluster is an assembled multi-host simulation.
+type Cluster struct {
+	Engine *shard.Engine
+	Nodes  []*Node
+
+	cfg       Config
+	plat      *platform.Platform
+	fabric    platform.FabricParams
+	lookahead sim.Time
+	nodeShard []int           // node id -> shard id
+	links     [][]*shard.Link // [src shard][dst shard]; nil on the diagonal
+}
+
+// New assembles a cluster. It panics on invalid configurations, matching
+// the repo's construction-time validation style.
+func New(cfg Config) *Cluster {
+	if cfg.Hosts == 0 {
+		cfg.Hosts = 4
+	}
+	if cfg.Hosts < 2 {
+		panic("cluster: need at least 2 hosts")
+	}
+	if cfg.Shards <= 0 || cfg.Shards > cfg.Hosts {
+		cfg.Shards = cfg.Hosts
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = cfg.Shards
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 32
+	}
+	if cfg.ReqSize <= 0 {
+		cfg.ReqSize = 4096
+	}
+	plat := cfg.Plat
+	if plat == nil {
+		plat = platform.ICX()
+	}
+
+	c := &Cluster{
+		Engine: shard.NewEngine(cfg.Workers),
+		cfg:    cfg,
+		plat:   plat,
+		fabric: plat.Fabric(),
+	}
+
+	// Contiguous partition: ceil(Hosts/Shards) nodes per shard.
+	group := (cfg.Hosts + cfg.Shards - 1) / cfg.Shards
+	shards := make([]*shard.Shard, 0, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		shards = append(shards, c.Engine.NewShard(fmt.Sprintf("node%d", s*group), sim.New()))
+	}
+	c.nodeShard = make([]int, cfg.Hosts)
+
+	for i := 0; i < cfg.Hosts; i++ {
+		s := i / group
+		c.nodeShard[i] = s
+		k := shards[s].Kernel()
+		n := &Node{
+			id:      i,
+			c:       c,
+			k:       k,
+			shd:     shards[s],
+			port:    interconn.New(plat.UPIBandwidth, plat.UPIHeader, plat.UPICtrlMsg),
+			ep:      pcie.NewEndpoint(k, plat.PCIe),
+			flt:     fault.NewInjector(cfg.Faults.ForShard(i)),
+			txWake:  k.NewEvent(fmt.Sprintf("n%d.tx", i)),
+			winWake: k.NewEvent(fmt.Sprintf("n%d.win", i)),
+		}
+		// Affinity check: everything the node owns issues events on the
+		// node's shard.
+		n.shd.Adopt(fmt.Sprintf("node%d.pcie", i), n.ep)
+		c.Nodes = append(c.Nodes, n)
+	}
+
+	// The fabric lookahead: one wire crossing plus the destination's PCIe
+	// attach. Every fabric delay is at least this, so it bounds how far
+	// apart two shards' clocks may drift.
+	c.lookahead = c.fabric.WireLat + c.Nodes[0].ep.MinLatency()
+
+	// One link per ordered shard pair; capacity sized to the worst-case
+	// in-flight population (requests + responses of every node pair that
+	// maps onto the pair of shards) so a correct run can never overflow,
+	// while a runaway producer still trips the bound.
+	capacity := 4*cfg.Window*group*group + 64
+	c.links = make([][]*shard.Link, cfg.Shards)
+	for a := range c.links {
+		c.links[a] = make([]*shard.Link, cfg.Shards)
+		for b := range c.links[a] {
+			if a == b {
+				continue
+			}
+			c.links[a][b] = c.Engine.Connect(shards[a], shards[b], c.lookahead, capacity,
+				func(p *sim.Proc, payload any) { c.receive(p, payload.(Message)) })
+		}
+	}
+
+	for _, n := range c.Nodes {
+		n.start()
+	}
+	return c
+}
+
+// Lookahead returns the declared fabric lookahead between shards.
+func (c *Cluster) Lookahead() sim.Time { return c.lookahead }
+
+// Run advances the whole cluster to virtual time until.
+func (c *Cluster) Run(until sim.Time) error { return c.Engine.Run(until) }
+
+// Events returns the total executed event count across all member kernels.
+func (c *Cluster) Events() uint64 {
+	var total uint64
+	for _, s := range c.Engine.Shards() {
+		total += s.Kernel().Events()
+	}
+	return total
+}
+
+// send routes a message from node `from` to node m.To, delay after now.
+// Cross-shard traffic goes through the declared fabric boundary; same-shard
+// traffic (coarser partitions) takes an equivalent local path with
+// identical timing, so the partition never shows through in results.
+func (c *Cluster) send(p *sim.Proc, from int, delay sim.Time, m Message) {
+	ss, ds := c.nodeShard[from], c.nodeShard[m.To]
+	if ss != ds {
+		c.links[ss][ds].Send(p, delay, m)
+		return
+	}
+	p.Kernel().Spawn("fabric.local", func(q *sim.Proc) {
+		q.Sleep(delay)
+		c.receive(q, m)
+	})
+}
+
+// lineTime is the per-cacheline cost of streaming payload through a node
+// pipeline stage at the platform's core streaming bandwidth.
+func (c *Cluster) lineTime() sim.Time {
+	return sim.Time(float64(platform.CacheLine) / c.plat.CoreStreamBW * float64(sim.Nanosecond))
+}
+
+// fabricSer is the wire serialization time of one payload.
+func (c *Cluster) fabricSer(bytes int) sim.Time {
+	return sim.Time(float64(bytes) / c.fabric.BW * float64(sim.Nanosecond))
+}
+
+// svcJitter derives a deterministic per-request service-time variation from
+// the message identity (splitmix64), modeling application-level variance
+// without any order-sensitive randomness.
+func svcJitter(from int, seq int64) sim.Time {
+	z := uint64(seq)*0x9E3779B97F4A7C15 + uint64(from+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	return sim.Time(z%32) * sim.Nanosecond
+}
+
+// start spawns the node's standing processes: the application issue loop
+// and the NIC TX pipeline.
+func (n *Node) start() {
+	plat := n.c.plat
+	hosts := n.c.cfg.Hosts
+	window := n.c.cfg.Window
+	reqSize := n.c.cfg.ReqSize
+
+	n.k.Spawn(fmt.Sprintf("n%d.app", n.id), func(p *sim.Proc) {
+		for {
+			for n.inFlight >= window {
+				p.Wait(n.winWake)
+			}
+			seq := n.seq
+			n.seq++
+			// Destination is a pure function of the sequence number, so
+			// the request stream never depends on completion order.
+			dst := int(seq) % (hosts - 1)
+			if dst >= n.id {
+				dst++
+			}
+			m := Message{From: n.id, To: dst, Seq: seq, svcDelay: svcJitter(n.id, seq)}
+			// All fault draws for this RPC's lifetime happen here, on
+			// the sender, in sequence order (partition invariance).
+			if st := n.flt.PipelineStall(); st > 0 {
+				m.txStall = st
+			}
+			if d := n.flt.DMADelay(); d > 0 {
+				m.svcDelay += d
+			}
+			if spike, _ := n.flt.LinkFault(); spike > 0 {
+				m.txSpike = spike
+			}
+			if spike, _ := n.flt.LinkFault(); spike > 0 {
+				m.respSpike = spike
+			}
+			p.Sleep(plat.L2Hit)    // buffer alloc from the node pool
+			p.Sleep(plat.L2Hit)    // header fill
+			p.Sleep(plat.LocalFwd) // coherent doorbell: dirty line handoff
+			m.Sent = p.Now()
+			n.txq = append(n.txq, m)
+			n.Sent++
+			n.inFlight++
+			n.txWake.Signal()
+		}
+	})
+
+	n.k.Spawn(fmt.Sprintf("n%d.nictx", n.id), func(p *sim.Proc) {
+		lines := (reqSize + platform.CacheLine - 1) / platform.CacheLine
+		lt := n.c.lineTime()
+		for {
+			for n.txHead == len(n.txq) {
+				p.Wait(n.txWake)
+			}
+			m := n.txq[n.txHead]
+			n.txHead++
+			if n.txHead == len(n.txq) { // drained: reset the staging ring
+				n.txq = n.txq[:0]
+				n.txHead = 0
+			}
+			p.Sleep(plat.LLCHit) // descriptor fetch
+			// Pull the payload across the node's host-NIC interconnect,
+			// one cacheline at a time (bandwidth-limited via the link's
+			// occupancy tracking).
+			for i := 0; i < lines; i++ {
+				p.Sleep(n.port.Data(p.Now(), interconn.Direction(0), platform.CacheLine) + lt)
+			}
+			if m.txStall > 0 {
+				p.Sleep(m.txStall) // drawn TX pipeline stall
+			}
+			delay := n.c.lookahead + n.c.fabricSer(reqSize) + m.txSpike
+			n.c.send(p, n.id, delay, m)
+		}
+	})
+}
+
+// receive handles one fabric delivery on the destination node. It runs in
+// its own process at the arrival instant, so same-time arrivals commute.
+func (c *Cluster) receive(p *sim.Proc, m Message) {
+	n := c.Nodes[m.To]
+	plat := c.plat
+	p.Sleep(plat.LLCHit) // DDIO deposit + descriptor write
+	if m.Resp {
+		n.Lat.Record(p.Now() - m.Sent)
+		n.Done++
+		n.inFlight--
+		n.winWake.Signal()
+		return
+	}
+	// Service: touch the payload per cacheline, then the application think
+	// time with the sender-drawn variation.
+	lines := (c.cfg.ReqSize + platform.CacheLine - 1) / platform.CacheLine
+	lt := c.lineTime()
+	for i := 0; i < lines; i++ {
+		p.Sleep(lt)
+	}
+	p.Sleep(plat.LLCHit + m.svcDelay)
+	n.Served++
+	resp := Message{From: m.To, To: m.From, Seq: m.Seq, Resp: true, Sent: m.Sent}
+	p.Sleep(plat.L2Hit) // response header
+	delay := c.lookahead + c.fabricSer(c.cfg.ReqSize) + m.respSpike
+	c.send(p, m.To, delay, resp)
+}
+
+// Report summarizes a run. All fields are deterministic functions of the
+// configuration and virtual time — bit-identical across shard and worker
+// counts — which the property harness relies on.
+type Report struct {
+	Hosts, Shards      int
+	Sent, Served, Done int64
+	Events             uint64
+	Now                sim.Time
+	P50, P99           sim.Time
+}
+
+// Report aggregates the cluster's counters.
+func (c *Cluster) Report() Report {
+	r := Report{Hosts: c.cfg.Hosts, Shards: c.cfg.Shards}
+	var lat stats.Histogram
+	for _, n := range c.Nodes {
+		r.Sent += n.Sent
+		r.Served += n.Served
+		r.Done += n.Done
+		lat.Merge(&n.Lat)
+		if now := n.k.Now(); now > r.Now {
+			r.Now = now
+		}
+	}
+	r.Events = c.Events()
+	r.P50 = lat.Median()
+	r.P99 = lat.Percentile(0.99)
+	return r
+}
+
+// String renders the report (and doubles as the determinism fingerprint:
+// shard- and worker-count changes must not alter a byte of it).
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d hosts, %d RPCs done (%d sent, %d served) at %v\n",
+		r.Hosts, r.Done, r.Sent, r.Served, r.Now)
+	fmt.Fprintf(&b, "latency: p50 %v  p99 %v\n", r.P50, r.P99)
+	return b.String()
+}
+
+// FaultStats aggregates injected-fault counters across nodes (zero when
+// unarmed).
+func (c *Cluster) FaultStats() fault.Stats {
+	var agg fault.Stats
+	for _, n := range c.Nodes {
+		if s := n.flt.Stats(); s != nil {
+			for cl := 0; cl < int(fault.NumClasses); cl++ {
+				agg.Injected[cl] += s.Injected[cl]
+			}
+		}
+	}
+	return agg
+}

@@ -600,7 +600,7 @@ func (a *Agent) Flush(p *sim.Proc, addr mem.Addr, size int) sim.Time {
 	const flushCost = 25 * sim.Nanosecond
 	total := sim.Time(0)
 	mem.Lines(addr, size, func(line mem.Addr) {
-		d := s.dir[line]
+		d := s.lookup(line)
 		cost := flushCost
 		if d != nil {
 			if d.hasRemote(a.socket) {

@@ -60,6 +60,14 @@ type entry struct {
 	prev, next *entry
 }
 
+// cachePageLines is the number of line slots per cache page: each page
+// covers 256KB of simulated address space (32KB of host pointers) and is
+// materialized on first touch, mirroring the directory's paged layout.
+const cachePageLines = 1 << 12
+
+// cachePage holds residency slots for one contiguous 256KB address span.
+type cachePage [cachePageLines]*entry
+
 // Cache is a capacity-limited, fully-associative LRU cache of 64B lines.
 // It models either a core's private L2 or a socket's shared LLC.
 type Cache struct {
@@ -67,7 +75,10 @@ type Cache struct {
 	socket int
 	isLLC  bool
 	capAct int // capacity in lines
-	lines  map[mem.Addr]*entry
+	n      int // resident lines
+	// pages is the per-socket paged residency index: two array indexings
+	// per lookup where a map probe used to be.
+	pages [2][]*cachePage
 	// LRU list: head.next is most-recent, head.prev is least-recent.
 	head entry
 	// free recycles evicted entries (singly linked via next), so a cache
@@ -82,12 +93,33 @@ func newCache(sys *System, name string, socket int, capBytes int64, isLLC bool) 
 		socket: socket,
 		isLLC:  isLLC,
 		capAct: int(capBytes / mem.LineSize),
-		lines:  make(map[mem.Addr]*entry),
 		sys:    sys,
 	}
 	c.head.next = &c.head
 	c.head.prev = &c.head
 	return c
+}
+
+// slot returns the residency slot for a line, materializing its page on
+// first touch.
+//
+//ccnic:noalloc
+func (c *Cache) slot(line mem.Addr) **entry {
+	home, idx := mem.LineIndex(line)
+	pi, si := idx/cachePageLines, idx%cachePageLines
+	pages := c.pages[home]
+	if pi >= len(pages) {
+		grown := make([]*cachePage, pi+1) //ccnic:alloc-ok page-table growth, one-time per span
+		copy(grown, pages)
+		pages = grown
+		c.pages[home] = pages
+	}
+	pg := pages[pi]
+	if pg == nil {
+		pg = new(cachePage) //ccnic:alloc-ok one-time per touched 256KB span
+		pages[pi] = pg
+	}
+	return &pg[si]
 }
 
 // Name returns the cache's debug name.
@@ -97,13 +129,13 @@ func (c *Cache) Name() string { return c.name }
 func (c *Cache) Socket() int { return c.socket }
 
 // Len returns the number of resident lines.
-func (c *Cache) Len() int { return len(c.lines) }
+func (c *Cache) Len() int { return c.n }
 
 // get returns the entry for line and promotes it to most-recent, or nil.
 //
 //ccnic:noalloc
 func (c *Cache) get(line mem.Addr) *entry {
-	e := c.lines[line]
+	e := *c.slot(line)
 	if e != nil {
 		c.unlink(e)
 		c.pushFront(e)
@@ -114,7 +146,7 @@ func (c *Cache) get(line mem.Addr) *entry {
 // peek returns the entry without touching recency.
 //
 //ccnic:noalloc
-func (c *Cache) peek(line mem.Addr) *entry { return c.lines[line] }
+func (c *Cache) peek(line mem.Addr) *entry { return *c.slot(line) }
 
 // insertMiss adds a line in the given state, evicting the LRU line if full.
 // The caller must have just observed the line to be absent (via get or peek
@@ -124,12 +156,13 @@ func (c *Cache) peek(line mem.Addr) *entry { return c.lines[line] }
 //
 //ccnic:noalloc
 func (c *Cache) insertMiss(line mem.Addr, st State) {
-	for len(c.lines) >= c.capAct {
+	for c.n >= c.capAct {
 		c.evictLRU()
 	}
 	e := c.alloc()
 	e.line, e.state = line, st
-	c.lines[line] = e
+	*c.slot(line) = e
+	c.n++
 	c.pushFront(e)
 }
 
@@ -173,9 +206,11 @@ func (c *Cache) recycle(e *entry) {
 //
 //ccnic:noalloc
 func (c *Cache) drop(line mem.Addr) {
-	if e := c.lines[line]; e != nil {
+	s := c.slot(line)
+	if e := *s; e != nil {
 		c.unlink(e)
-		delete(c.lines, line)
+		*s = nil
+		c.n--
 		c.recycle(e)
 	}
 }
@@ -190,7 +225,8 @@ func (c *Cache) evictLRU() {
 		panic("coherence: evict on empty cache")
 	}
 	c.unlink(e)
-	delete(c.lines, e.line)
+	*c.slot(e.line) = nil
+	c.n--
 	line, st := e.line, e.state
 	c.recycle(e)
 	c.sys.evicted(c, line, st)
@@ -211,9 +247,10 @@ func (c *Cache) unlink(e *entry) {
 	e.prev, e.next = nil, nil
 }
 
-// forEach visits all resident lines (for invariant checks in tests).
+// forEach visits all resident lines in recency order (for invariant checks
+// in tests), walking the LRU list — every resident entry is on it.
 func (c *Cache) forEach(fn func(line mem.Addr, st State)) {
-	for a, e := range c.lines {
-		fn(a, e.state)
+	for e := c.head.next; e != &c.head; e = e.next {
+		fn(e.line, e.state)
 	}
 }

@@ -94,7 +94,7 @@ func (s *System) SetMutation(m Mutation) { s.mutation = m }
 // entry, violating the no-duplicate-sharers invariant. It reports whether
 // the line had a sharer to duplicate. Validation-layer self-tests only.
 func (s *System) CorruptSharerSetForTest(line mem.Addr) bool {
-	d := s.dir[line]
+	d := s.lookup(line)
 	if d == nil || len(d.sharers) == 0 {
 		return false
 	}
@@ -109,7 +109,7 @@ func (s *System) CorruptSharerSetForTest(line mem.Addr) bool {
 // event; stray copies unknown to the directory require the full
 // CheckInvariants scan.
 func (s *System) CheckLine(line mem.Addr) error {
-	d := s.dir[line]
+	d := s.lookup(line)
 	if d == nil {
 		return nil
 	}

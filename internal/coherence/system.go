@@ -37,10 +37,20 @@ type dirEntry struct {
 	// (Fig 8's separate-line penalty), while a writer that already owns
 	// the line (co-located layouts) commits locally.
 	pendingUntil sim.Time
-	// nextFree links gc'd entries into the system's freelist, preserving
-	// each entry's sharers capacity across reuse.
-	nextFree *dirEntry
+	// present marks the slot live. Entries live in paged dense arrays
+	// indexed by line (see System.dirAt); a gc'd entry stays in place with
+	// present=false, preserving its sharers capacity for the next use of
+	// the same line — line churn allocates nothing in steady state.
+	present bool
 }
+
+// dirPageLines is the number of lines per directory page: each page covers
+// 256KB of simulated address space and is materialized on first touch, so
+// directory memory tracks the allocator's bump frontier, not cache capacity.
+const dirPageLines = 1 << 12
+
+// dirPage holds directory slots for one contiguous 256KB address span.
+type dirPage [dirPageLines]dirEntry
 
 // System is the two-socket coherent memory system.
 type System struct {
@@ -51,8 +61,7 @@ type System struct {
 
 	llc      [2]*Cache
 	agents   [2][]*Agent
-	dir      map[mem.Addr]*dirEntry
-	freeDir  *dirEntry // recycled directory entries
+	dir      [2][]*dirPage // per-socket paged directory, indexed by line
 	counters [2]Counters
 	prefetch [2]bool
 
@@ -84,7 +93,6 @@ func NewSystem(k *sim.Kernel, plat *platform.Platform) *System {
 		plat:  plat,
 		space: mem.NewSpace(),
 		link:  interconn.New(wire, plat.UPIHeader, plat.UPICtrlMsg),
-		dir:   make(map[mem.Addr]*dirEntry),
 
 		ntLineCost: sim.Time(float64(mem.LineSize) / plat.PCIe.NTStoreBW * float64(sim.Nanosecond)),
 	}
@@ -153,33 +161,61 @@ func (s *System) NewAgent(socket int, name string) *Agent {
 	return a
 }
 
-// ent returns (creating if needed) the directory entry for a line. Entries
-// come from the freelist when possible, so line churn (ring buffers cycling
-// through the address space) allocates nothing in steady state.
+// dirAt returns the directory slot for a line, materializing its page on
+// first touch. Two array indexings replace the map probe that used to
+// dominate the directory's cost.
+//
 //ccnic:noalloc
-func (s *System) ent(line mem.Addr) *dirEntry {
-	d := s.dir[line]
-	if d == nil {
-		if d = s.freeDir; d != nil {
-			s.freeDir = d.nextFree
-			d.nextFree = nil
-			d.pendingUntil = 0 // owner/sharers already cleared by gc
-		} else {
-			d = &dirEntry{} //ccnic:alloc-ok freelist warm-up; steady state recycles
-		}
-		s.dir[line] = d
+func (s *System) dirAt(line mem.Addr) *dirEntry {
+	home, idx := mem.LineIndex(line)
+	pi, slot := idx/dirPageLines, idx%dirPageLines
+	pages := s.dir[home]
+	if pi >= len(pages) {
+		grown := make([]*dirPage, pi+1) //ccnic:alloc-ok page-table growth, one-time per span
+		copy(grown, pages)
+		pages = grown
+		s.dir[home] = pages
+	}
+	pg := pages[pi]
+	if pg == nil {
+		pg = new(dirPage) //ccnic:alloc-ok one-time per touched 256KB span
+		pages[pi] = pg
+	}
+	return &pg[slot]
+}
+
+// lookup returns the live directory entry for a line, or nil — the read-only
+// counterpart of ent.
+//
+//ccnic:noalloc
+func (s *System) lookup(line mem.Addr) *dirEntry {
+	d := s.dirAt(line)
+	if !d.present {
+		return nil
 	}
 	return d
 }
 
-// gc removes an empty directory entry and recycles it.
+// ent returns (creating if needed) the directory entry for a line. Slots are
+// reused in place, so line churn (ring buffers cycling through the address
+// space) allocates nothing in steady state.
+//ccnic:noalloc
+func (s *System) ent(line mem.Addr) *dirEntry {
+	d := s.dirAt(line)
+	if !d.present {
+		d.present = true
+		d.pendingUntil = 0 // owner/sharers already cleared by gc
+	}
+	return d
+}
+
+// gc retires an empty directory entry; its slot (and sharers capacity) stays
+// in place for the line's next use.
 //
 //ccnic:noalloc
 func (s *System) gc(line mem.Addr, d *dirEntry) {
 	if d.owner == nil && len(d.sharers) == 0 {
-		delete(s.dir, line)
-		d.nextFree = s.freeDir
-		s.freeDir = d
+		d.present = false
 	}
 }
 
@@ -258,7 +294,7 @@ func (d *dirEntry) holds(c *Cache) bool {
 // and flushes). Returns true if any remote (cross-socket from sock) copy
 // existed.
 func (s *System) dropEverywhere(line mem.Addr, sock int) bool {
-	d := s.dir[line]
+	d := s.lookup(line)
 	if d == nil {
 		return false
 	}
@@ -294,7 +330,7 @@ func (s *System) DeviceWriteLine(line mem.Addr, socket int) {
 // host memory: dirty data is snooped out of CPU caches (demoted to Shared,
 // written back); clean copies are untouched.
 func (s *System) DeviceReadLine(line mem.Addr) {
-	d := s.dir[line]
+	d := s.lookup(line)
 	if d == nil || d.owner == nil {
 		return
 	}
@@ -303,6 +339,23 @@ func (s *System) DeviceReadLine(line mem.Addr) {
 	d.owner = nil
 	d.sharers = append(d.sharers, owner)
 	s.lineEvent(line)
+}
+
+// forEachDir visits every live directory entry in address order (validation
+// paths only; the hot path never iterates the directory).
+func (s *System) forEachDir(fn func(line mem.Addr, d *dirEntry)) {
+	for home := range s.dir {
+		for pi, pg := range s.dir[home] {
+			if pg == nil {
+				continue
+			}
+			for slot := range pg {
+				if d := &pg[slot]; d.present {
+					fn(mem.LineAt(home, pi*dirPageLines+slot), d)
+				}
+			}
+		}
+	}
 }
 
 // CheckInvariants validates global coherence invariants; tests call it after
@@ -314,10 +367,15 @@ func (s *System) CheckInvariants() error {
 		line mem.Addr
 	}
 	claimed := make(map[key]State)
-	for line, d := range s.dir {
+	var dirErr error
+	s.forEachDir(func(line mem.Addr, d *dirEntry) {
+		if dirErr != nil {
+			return
+		}
 		if d.owner != nil && len(d.sharers) > 0 {
-			return fmt.Errorf("line %#x: owner %s coexists with %d sharers",
+			dirErr = fmt.Errorf("line %#x: owner %s coexists with %d sharers",
 				line, d.owner.name, len(d.sharers))
+			return
 		}
 		if d.owner != nil {
 			claimed[key{d.owner, line}] = Modified
@@ -325,11 +383,15 @@ func (s *System) CheckInvariants() error {
 		seen := map[*Cache]bool{}
 		for _, c := range d.sharers {
 			if seen[c] {
-				return fmt.Errorf("line %#x: duplicate sharer %s", line, c.name)
+				dirErr = fmt.Errorf("line %#x: duplicate sharer %s", line, c.name)
+				return
 			}
 			seen[c] = true
 			claimed[key{c, line}] = Shared
 		}
+	})
+	if dirErr != nil {
+		return dirErr
 	}
 	caches := []*Cache{s.llc[0], s.llc[1]}
 	for i := 0; i < 2; i++ {

@@ -158,7 +158,7 @@ func TestTransitionTable(t *testing.T) {
 							t.Errorf("requester holds %v, want %v", st, want.state)
 						}
 						// Directory composition.
-						d := s.dir[line]
+						d := s.lookup(line)
 						var owner rune
 						if d != nil && d.owner != nil {
 							switch d.owner {
@@ -233,7 +233,7 @@ func TestTransitionNoMigration(t *testing.T) {
 			if e := n.l2.peek(line); e == nil || e.state != Shared {
 				t.Errorf("previous owner was not demoted to Shared: %v", e)
 			}
-			d := s.dir[line]
+			d := s.lookup(line)
 			if d.owner != nil || len(d.sharers) != 2 {
 				t.Errorf("directory owner=%v sharers=%d, want ownerless with 2 sharers",
 					d.owner, len(d.sharers))
@@ -252,7 +252,7 @@ func TestTransitionNoMigration(t *testing.T) {
 			line := s.Space().AllocLines(0, 1)
 			lp.Write(p, line, 8)
 			r.Read(p, line, 8)
-			d := s.dir[line]
+			d := s.lookup(line)
 			if d.owner != nil || len(d.sharers) != 2 {
 				t.Errorf("directory owner=%v sharers=%d, want ownerless with 2 sharers",
 					d.owner, len(d.sharers))

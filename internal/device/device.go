@@ -53,6 +53,12 @@ type Device interface {
 	Queue(i int) Queue
 	// Start spawns the device-side processes on the kernel.
 	Start()
+	// Kernel returns the simulation kernel the device's processes run on.
+	// It is the device's shard affinity: in a partitioned simulation
+	// (internal/sim/shard), a device and everything it touches — memory
+	// system, queues, host agents — must live on the same shard, and the
+	// shard runtime's Adopt check verifies exactly this kernel identity.
+	Kernel() *sim.Kernel
 }
 
 // Injector is implemented by devices that can synthesize ingress packets

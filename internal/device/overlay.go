@@ -63,6 +63,10 @@ func (o *Overlay) Queue(i int) Queue { return o.front.Queue(i) }
 // Back returns the underlying PCIe NIC (for ingress configuration).
 func (o *Overlay) Back() *PCIeNIC { return o.back }
 
+// Kernel returns the device's shard affinity: front-end and back-end share
+// one memory system, hence one kernel.
+func (o *Overlay) Kernel() *sim.Kernel { return o.front.Kernel() }
+
 // SetIngress implements Injector: ingress traffic arrives at the PCIe NIC.
 func (o *Overlay) SetIngress(i int, rate float64, gen func() int) {
 	o.back.SetIngress(i, rate, gen)

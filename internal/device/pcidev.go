@@ -150,6 +150,9 @@ func NewPCIeNIC(sys *coherence.System, nic *platform.NICParams, hosts []*coheren
 // Name returns the device name ("E810" or "CX6").
 func (d *PCIeNIC) Name() string { return d.name }
 
+// Kernel returns the device's shard affinity (its memory system's kernel).
+func (d *PCIeNIC) Kernel() *sim.Kernel { return d.sys.Kernel() }
+
 // NumQueues returns the queue count.
 func (d *PCIeNIC) NumQueues() int { return len(d.qs) }
 

@@ -184,6 +184,7 @@ func (d *wedgeDev) Name() string             { return "wedge" }
 func (d *wedgeDev) NumQueues() int           { return len(d.qs) }
 func (d *wedgeDev) Queue(i int) device.Queue { return d.qs[i] }
 func (d *wedgeDev) Start()                   {}
+func (d *wedgeDev) Kernel() *sim.Kernel      { return d.qs[0].sys.Kernel() }
 func (d *wedgeDev) SetIngress(i int, rate float64, gen func() int) {
 	d.qs[i].rate, d.qs[i].gen = rate, gen
 }

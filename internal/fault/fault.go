@@ -123,6 +123,29 @@ func (p *Plan) String() string {
 	return b.String()
 }
 
+// ForShard derives the plan for one shard of a partitioned simulation:
+// identical rates, with the seed mixed with the shard id through a
+// splitmix64 finalizer so each shard's injector draws an independent
+// PRNG stream. Keying by the model's *stable* shard identity (the member
+// node id of a cluster, not the runtime worker count) keeps every
+// shard's fault schedule byte-reproducible no matter how the model is
+// re-partitioned or how many workers execute it. Nil and unarmed plans
+// derive to nil.
+func (p *Plan) ForShard(shard int) *Plan {
+	if !p.Armed() {
+		return nil
+	}
+	q := *p
+	z := uint64(p.Seed) + 0x9E3779B97F4A7C15*uint64(shard+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	q.Seed = int64(z >> 1) // rand.NewSource wants a non-negative-friendly seed
+	return &q
+}
+
 // ParsePlan parses a plan spec of the form
 //
 //	seed=7,link=0.002,dbdrop=0.01

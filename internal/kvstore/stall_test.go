@@ -18,6 +18,7 @@ import (
 // window watchdog exists to diagnose. Implements device.Device and
 // device.Injector.
 type wedgeDev struct {
+	k *sim.Kernel
 	q *wedgeQueue
 }
 
@@ -29,10 +30,11 @@ func newWedgeDev(sys *coherence.System, h *coherence.Agent) *wedgeDev {
 	pool := bufpool.New(bufpool.Config{
 		Sys: sys, Home: 0, BigCount: 512, BigSize: 4096, Recycle: true,
 	})
-	return &wedgeDev{q: &wedgeQueue{port: pool.Attach(h)}}
+	return &wedgeDev{k: sys.Kernel(), q: &wedgeQueue{port: pool.Attach(h)}}
 }
 
 func (d *wedgeDev) Name() string                              { return "wedge" }
+func (d *wedgeDev) Kernel() *sim.Kernel                       { return d.k }
 func (d *wedgeDev) NumQueues() int                            { return 1 }
 func (d *wedgeDev) Queue(i int) device.Queue                  { return d.q }
 func (d *wedgeDev) Start()                                    {}

@@ -32,6 +32,10 @@ const (
 	// yields the call-graph walk cannot see (function-pointer indirection)
 	// and for self-contained analyzer fixtures.
 	AnnotYields = "yields"
+	// AnnotShardBoundary suppresses shardlint on its line (or the line
+	// below): the package legitimately declares or drives a cross-shard
+	// link boundary (see internal/sim/shard).
+	AnnotShardBoundary = "shard-boundary"
 )
 
 const annotPrefix = "//ccnic:"

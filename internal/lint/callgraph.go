@@ -16,6 +16,9 @@ var yieldRoots = map[string]bool{
 	"(*ccnic/internal/sim.Proc).Wait":  true,
 	"(*ccnic/internal/sim.Proc).Yield": true,
 	"(*ccnic/internal/coherence.Agent).Exec": true,
+	// The shard engine's Run executes arbitrary processes across every
+	// member kernel: from a caller's perspective it yields by definition.
+	"(*ccnic/internal/sim/shard.Engine).Run": true,
 }
 
 // YieldSet computes (once) the transitive set of yielding functions over the

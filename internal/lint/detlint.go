@@ -62,7 +62,12 @@ func runDetlint(pass *Pass) error {
 			case *ast.CallExpr:
 				checkDetCall(pass, n)
 			case *ast.GoStmt:
+				// The kernel (internal/sim) and the shard runtime
+				// (internal/sim/shard) own all simulator concurrency; the
+				// latter's worker fan-out is barrier-synchronous and proven
+				// deterministic by its invariance tests.
 				if pass.Pkg.Path != "ccnic/internal/sim" &&
+					pass.Pkg.Path != "ccnic/internal/sim/shard" &&
 					!pass.Prog.Suppressed(pass.Pkg, n.Pos(), AnnotNondetOK) {
 					pass.Report(n.Pos(), "goroutine spawned outside internal/sim: the kernel owns all concurrency (annotate //ccnic:nondet-ok if the fan-out is deterministic)")
 				}

@@ -14,6 +14,10 @@
 //     to be nil-guarded, keeping the checks-disabled path a single branch.
 //   - alloclint: checks functions annotated //ccnic:noalloc (the paths the
 //     AllocsPerRun tests guard) for heap-allocating constructs.
+//   - shardlint: confines cross-shard sends (shard.Link.Send) and link
+//     declarations (shard.Engine.Connect) to the shard runtime and the
+//     topology-composition packages, keeping the parallel engine's
+//     lookahead contract auditable at compile time.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API surface
 // (Analyzer, Pass, Diagnostic) but is self-contained: the environment this
@@ -77,7 +81,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Detlint, Yieldlint, Probelint, Alloclint}
+	return []*Analyzer{Detlint, Yieldlint, Probelint, Alloclint, Shardlint}
 }
 
 // Run applies the analyzers to every package of prog and returns the

@@ -29,6 +29,45 @@ func TestProbelintClean(t *testing.T) { linttest.Run(t, "testdata/probe_clean", 
 func TestAlloclintBad(t *testing.T)   { linttest.Run(t, "testdata/alloc_bad", lint.Alloclint) }
 func TestAlloclintClean(t *testing.T) { linttest.Run(t, "testdata/alloc_clean", lint.Alloclint) }
 
+// TestShardlintSelfCheck proves the analyzer fires: with the topology layer
+// removed from the boundary allowlist, every cluster-package Link.Send and
+// Engine.Connect must be flagged; with the real allowlist, the module must
+// be clean. (Shardlint cannot use self-contained fixtures — it matches the
+// real shard package's method identities.)
+func TestShardlintSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	prog, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := lint.Run(prog, []*lint.Analyzer{lint.Shardlint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("module should be shardlint-clean, got %v", diags)
+	}
+	defer lint.SetShardBoundaryPkgs(lint.SetShardBoundaryPkgs([]string{"ccnic/internal/sim/shard"}))
+	diags, err = lint.Run(prog, []*lint.Analyzer{lint.Shardlint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sends, connects int
+	for _, d := range diags {
+		if strings.Contains(d.Message, "Link.Send") {
+			sends++
+		}
+		if strings.Contains(d.Message, "Engine.Connect") {
+			connects++
+		}
+	}
+	if sends == 0 || connects == 0 {
+		t.Fatalf("shrunken allowlist should flag cluster's sends and connects, got %v", diags)
+	}
+}
+
 // TestMutationSelfChecks seeds one defect into each clean fixture and
 // asserts the matching analyzer catches it. This guards the analyzers
 // themselves: a regression that silences one of them breaks the mutation,

@@ -83,6 +83,7 @@ func Load(dir string, patterns ...string) (*Program, error) {
 
 	exports := map[string]string{}
 	var srcs []*listedPkg
+	seen := map[string]bool{}
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listedPkg
@@ -94,6 +95,23 @@ func Load(dir string, patterns ...string) (*Program, error) {
 		if p.Error != nil {
 			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
 		}
+		// A main package with a default.pgo profile makes `go list -deps`
+		// report its dependencies as PGO-specialized variants named
+		// "path [main/pkg]". The source and API are those of the base
+		// package: normalize the path and dedupe, so the loader sees one
+		// copy of each package and export-data lookups hit.
+		if i := strings.IndexByte(p.ImportPath, ' '); i >= 0 {
+			p.ImportPath = p.ImportPath[:i]
+		}
+		for j, imp := range p.Imports {
+			if i := strings.IndexByte(imp, ' '); i >= 0 {
+				p.Imports[j] = imp[:i]
+			}
+		}
+		if seen[p.ImportPath] {
+			continue
+		}
+		seen[p.ImportPath] = true
 		if p.Module != nil && !p.Standard {
 			q := p
 			srcs = append(srcs, &q)

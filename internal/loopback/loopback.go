@@ -91,6 +91,11 @@ func Run(cfg Config) Result {
 		cfg.Measure = 200 * sim.Microsecond
 	}
 	k := cfg.Sys.Kernel()
+	// Shard affinity: the workload drives device and memory system from
+	// one set of processes, so all three must share one kernel (= shard).
+	if cfg.Dev.Kernel() != k {
+		panic("loopback: device and memory system must share one kernel (shard affinity)")
+	}
 	cfg.Dev.Start()
 
 	end := k.Now() + cfg.Warmup + cfg.Measure

@@ -53,6 +53,24 @@ func Lines(a Addr, size int, fn func(line Addr)) {
 	}
 }
 
+// LineIndex returns the home socket of a line address and the line's dense
+// index within that socket's allocation arena (0 for the first allocatable
+// line). Because Space is a bump allocator, indices are small and contiguous,
+// which lets per-line metadata live in paged dense arrays instead of maps.
+//
+//ccnic:noalloc
+func LineIndex(a Addr) (home, idx int) {
+	return int(a>>homeBit) & 1, int((a&^(1<<homeBit) - base) / LineSize)
+}
+
+// LineAt is the inverse of LineIndex: the line address for a dense index on
+// the given socket.
+//
+//ccnic:noalloc
+func LineAt(home, idx int) Addr {
+	return (base + Addr(idx)*LineSize) | Addr(home)<<homeBit
+}
+
 // Space is a two-socket bump allocator. It is not safe for concurrent use;
 // all model code runs under the simulation kernel.
 type Space struct {

@@ -87,6 +87,17 @@ func (e *Endpoint) NewCore() *CoreMMIO { return &CoreMMIO{ep: e} }
 // Params returns the endpoint's PCIe parameters.
 func (e *Endpoint) Params() platform.PCIeParams { return e.pp }
 
+// Kernel returns the simulation kernel the endpoint issues events on. A
+// component's kernel is its shard affinity: everything reachable from one
+// endpoint must live on the same shard (internal/sim/shard.Shard.Adopt).
+func (e *Endpoint) Kernel() *sim.Kernel { return e.k }
+
+// MinLatency returns the endpoint's one-way posted-write propagation time,
+// the minimum delay for any transaction to become visible on the far side
+// of the slot. When the slot is a shard boundary, this is the PCIe
+// contribution to the boundary link's declared lookahead.
+func (e *Endpoint) MinLatency() sim.Time { return e.pp.OneWay }
+
 // SetFaults arms (or, with nil, disarms) the fault injector on the
 // endpoint. Device models also read it via Faults for doorbell and
 // pipeline fault classes.

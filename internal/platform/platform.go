@@ -233,6 +233,28 @@ func (p *Platform) Derate(latScale, bwScale float64) *Platform {
 // on Fig 21a's x-axis): a read of remote-socket DRAM.
 func (p *Platform) RemoteAccess() sim.Time { return p.RemoteDRAM }
 
+// FabricParams describes the inter-host network that joins several of
+// these servers into a cluster: one top-of-rack switch hop of 100GbE-class
+// Ethernet. These numbers are not paper calibration inputs (the paper
+// measures a single machine); they are representative datacenter values
+// used by the multi-host cluster model (internal/cluster), where WireLat
+// doubles as the conservative lookahead of every fabric shard boundary.
+type FabricParams struct {
+	// WireLat is the one-way propagation plus switching latency between
+	// any two hosts. It must be strictly positive: it bounds how far
+	// apart two shards' clocks can drift, so it is the parallel
+	// engine's lookahead.
+	WireLat sim.Time
+	// BW is the per-host fabric bandwidth, bytes per nanosecond.
+	BW float64
+}
+
+// Fabric returns the cluster fabric joining hosts of this platform:
+// 100GbE (12.5 B/ns) through one switch at 750ns one way.
+func (p *Platform) Fabric() FabricParams {
+	return FabricParams{WireLat: 750 * sim.Nanosecond, BW: 12.5}
+}
+
 // NICParams describes a PCIe NIC ASIC pipeline.
 type NICParams struct {
 	Name string

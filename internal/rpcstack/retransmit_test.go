@@ -17,6 +17,7 @@ import (
 // the fast path's retransmission timer and degraded-mode drop are
 // reachable. RX synthesizes requests at the configured ingress rate.
 type flakyDev struct {
+	k  *sim.Kernel
 	qs []*flakyQueue
 }
 
@@ -34,7 +35,7 @@ func newFlakyDev(sys *coherence.System, hosts []*coherence.Agent, acceptEvery in
 	pool := bufpool.New(bufpool.Config{
 		Sys: sys, Home: 0, BigCount: 1024 * len(hosts), BigSize: 4096, Recycle: true,
 	})
-	d := &flakyDev{}
+	d := &flakyDev{k: sys.Kernel()}
 	for _, h := range hosts {
 		d.qs = append(d.qs, &flakyQueue{port: pool.Attach(h), acceptEvery: acceptEvery})
 	}
@@ -42,6 +43,7 @@ func newFlakyDev(sys *coherence.System, hosts []*coherence.Agent, acceptEvery in
 }
 
 func (d *flakyDev) Name() string             { return "flaky" }
+func (d *flakyDev) Kernel() *sim.Kernel      { return d.k }
 func (d *flakyDev) NumQueues() int           { return len(d.qs) }
 func (d *flakyDev) Queue(i int) device.Queue { return d.qs[i] }
 func (d *flakyDev) Start()                   {}

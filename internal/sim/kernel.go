@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"iter"
 	"strings"
 	"sync/atomic"
 )
@@ -21,10 +22,11 @@ const (
 	procRunnable
 	procRunning
 	procWaiting // blocked on an Event
+	procPooled  // function returned; coroutine parked for reuse by Spawn
 	procDone
 )
 
-// abortSignal is panicked into a process goroutine to unwind it when the
+// abortSignal is panicked into a process coroutine to unwind it when the
 // kernel shuts down mid-simulation.
 type abortSignal struct{}
 
@@ -50,11 +52,13 @@ type Probe interface {
 	RunEnd(now Time)
 }
 
-// Proc is a simulated process. A Proc's function runs on its own goroutine,
-// but the kernel guarantees that at most one process executes at any moment,
-// so processes may freely share model state without synchronization.
+// Proc is a simulated process. A Proc's function runs on its own coroutine
+// (an iter.Pull-backed goroutine resumed by direct coroutine switches, never
+// through the Go scheduler), and the kernel guarantees that at most one
+// process executes at any moment, so processes may freely share model state
+// without synchronization.
 //
-// All Proc methods must be called from the process's own goroutine while it
+// All Proc methods must be called from the process's own coroutine while it
 // is running.
 type Proc struct {
 	k     *Kernel
@@ -64,8 +68,17 @@ type Proc struct {
 
 	wake Time // scheduled resume time while runnable
 	seq  uint64
+	fn   func(*Proc) // current body; rebound when a pooled proc is respawned
 
-	resume chan bool // scheduler -> proc; false means abort
+	// Coroutine control. resume transfers execution into the process and
+	// returns when it parks (true) or its function returns (false); yield
+	// transfers execution back to the kernel's run loop and returns false
+	// when the process is being aborted; cancel unwinds a parked process.
+	// Each pair of transfers is a runtime coroutine switch — roughly half
+	// the cost of a blocking channel handoff, and free of scheduler state.
+	resume func() (struct{}, bool)
+	cancel func()
+	yield  func(struct{}) bool
 }
 
 // Name returns the process name given at spawn time.
@@ -116,11 +129,11 @@ func (p *Proc) Wait(ev *Event) {
 	p.park(procWaiting)
 }
 
-// park hands the execution baton to the next runnable process (or back to
-// the Run caller) and blocks until resumed. This is the kernel's hot path:
-// scheduling runs inline on the parking goroutine, so a park-resume cycle
-// costs at most one blocking channel handoff — and none at all when the
-// parking process is itself the next to run.
+// park picks the next runnable process and hands the execution baton back to
+// the kernel's run loop, which resumes that process. This is the kernel's
+// hot path: scheduling runs inline on the parking coroutine, so a
+// park-resume cycle costs one coroutine round trip through the run loop —
+// and no switch at all when the parking process is itself the next to run.
 //
 //ccnic:noalloc
 func (p *Proc) park(s procState) {
@@ -129,8 +142,9 @@ func (p *Proc) park(s procState) {
 	if s == procRunnable {
 		// Run-next fast path: p wakes strictly before every scheduled
 		// process, so it would be popped right back; skip the heap and the
-		// channels entirely. Strict inequality preserves FIFO ordering at
-		// equal instants (a re-pushed proc would sort behind its peers).
+		// coroutine switches entirely. Strict inequality preserves FIFO
+		// ordering at equal instants (a re-pushed proc would sort behind
+		// its peers).
 		if top := k.heap.peek(); (top == nil || p.wake < top.wake) &&
 			!k.stopped && (k.deadline < 0 || p.wake <= k.deadline) {
 			if p.wake > k.now {
@@ -144,7 +158,7 @@ func (p *Proc) park(s procState) {
 		p.seq = k.seq
 		if k.stopped {
 			k.heap.push(p) // Shutdown will abort p from the heap
-			k.handoff(nil)
+			k.hand = nil
 		} else {
 			// One sift instead of a push and a pop.
 			q := k.heap.pushpop(p)
@@ -153,7 +167,7 @@ func (p *Proc) park(s procState) {
 				if k.now < k.deadline {
 					k.now = k.deadline
 				}
-				k.handoff(nil)
+				k.hand = nil
 			} else {
 				if q.wake > k.now {
 					k.now = q.wake
@@ -166,14 +180,14 @@ func (p *Proc) park(s procState) {
 					p.state = procRunning
 					return
 				}
-				k.handoff(q)
+				k.hand = q
 			}
 		}
 	} else {
 		k.waiting++
-		k.handoff(k.next())
+		k.hand = k.next()
 	}
-	if ok := <-p.resume; !ok {
+	if !p.yield(struct{}{}) {
 		panic(abortSignal{})
 	}
 	p.state = procRunning
@@ -181,6 +195,12 @@ func (p *Proc) park(s procState) {
 
 // Kernel is a discrete-event simulation kernel. Create one with New, add
 // processes with Spawn, then call Run or RunUntil.
+//
+// A Kernel and all its processes run on whichever goroutine calls Run: the
+// processes are coroutines, resumed by direct switches. That makes a kernel
+// single-threaded by construction and lets a multi-shard runtime (see
+// internal/sim/shard) drive one kernel per worker goroutine with no locking
+// inside the simulation itself.
 type Kernel struct {
 	now      Time
 	heap     procHeap
@@ -190,17 +210,22 @@ type Kernel struct {
 	waiting  int // procs blocked on events
 	running  bool
 	stopped  bool
-	aborting bool // Shutdown in progress: unwinding procs return the baton
 	deadline Time // active RunUntil deadline, or -1
 	events   uint64
 
-	baton chan struct{} // proc -> Run/Shutdown caller when the run ends
+	// hand is the process a parking coroutine selected for the run loop to
+	// resume next; nil ends the run (stop, deadline, completion, deadlock).
+	hand *Proc
 
 	// waitEvents holds events that currently have waiters (conservatively:
 	// drained events linger until compaction), for Shutdown and deadlock
 	// reporting. Compaction keeps it within 2x the live waited-on set.
 	waitEvents []*Event
 	compactAt  int
+
+	// pool holds finished processes whose coroutines are parked for reuse
+	// by Spawn (see Spawn). Bounded by the high-water mark of live procs.
+	pool []*Proc
 
 	// probe is the optional scheduling observer; nil in normal runs.
 	probe Probe
@@ -212,7 +237,6 @@ func (k *Kernel) SetProbe(p Probe) { k.probe = p }
 // New creates an empty kernel at time zero.
 func New() *Kernel {
 	return &Kernel{
-		baton:     make(chan struct{}),
 		deadline:  -1,
 		compactAt: 64,
 	}
@@ -229,59 +253,92 @@ func (k *Kernel) Live() int { return k.live }
 // kernel has executed.
 func (k *Kernel) Events() uint64 { return k.events }
 
+// NextWake returns the virtual time of the earliest scheduled process and
+// true, or (0, false) when no process is runnable (the kernel is idle until
+// an external signal or injected process arrives). Shard runtimes use this
+// as the kernel's event-horizon floor when computing safe advance windows.
+func (k *Kernel) NextWake() (Time, bool) {
+	if top := k.heap.peek(); top != nil {
+		return top.wake, true
+	}
+	return 0, false
+}
+
 // Spawn creates a process that will first run at the current virtual time.
 // It may be called before Run or from a running process.
+//
+// Finished processes park their coroutine in a per-kernel pool, and Spawn
+// reuses one when available: the dominant spawn costs (a fresh goroutine,
+// its stack, and the iter.Pull plumbing) are then paid only for the
+// high-water mark of concurrently live processes, not per spawn. Workloads
+// that spawn a short-lived process per message run almost entirely on warm,
+// recycled coroutines. Reuse is LIFO and single-threaded, so it cannot
+// perturb scheduling order: a spawned process is identified by its fresh
+// heap position (wake, seq), never by which coroutine executes it.
 func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	if n := len(k.pool); n > 0 {
+		p := k.pool[n-1]
+		k.pool[n-1] = nil
+		k.pool = k.pool[:n-1]
+		p.name = name
+		p.fn = fn
+		p.state = procNew
+		p.wake = k.now
+		k.live++
+		k.push(p)
+		return p
+	}
 	p := &Proc{
-		k:      k,
-		name:   name,
-		id:     k.nextID,
-		state:  procNew,
-		wake:   k.now,
-		resume: make(chan bool),
+		k:     k,
+		name:  name,
+		id:    k.nextID,
+		state: procNew,
+		wake:  k.now,
+		fn:    fn,
 	}
 	k.nextID++
 	k.live++
-	go func() {
-		defer k.finish(p)
-		if ok := <-p.resume; !ok {
-			panic(abortSignal{})
+	p.resume, p.cancel = iter.Pull(func(yield func(struct{}) bool) {
+		p.yield = yield
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSignal); !ok {
+					panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+				}
+			}
+		}()
+		for {
+			p.fn(p)
+			if !p.retire() {
+				return
+			}
 		}
-		p.state = procRunning
-		fn(p)
-	}()
+	})
 	k.push(p)
 	return p
 }
 
-// finish retires a process whose function returned (or was unwound by an
-// abort) and passes the baton onward.
-func (k *Kernel) finish(p *Proc) {
-	if r := recover(); r != nil {
-		if _, ok := r.(abortSignal); !ok {
-			panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
-		}
-	}
-	p.state = procDone
+// retire parks a finished process's coroutine in the kernel pool and hands
+// the run loop its successor. It returns true when the coroutine has been
+// respawned with a new body, false when the kernel cancelled it (Shutdown
+// draining the pool) and the coroutine must exit.
+func (p *Proc) retire() bool {
+	k := p.k
 	k.live--
-	if k.aborting {
-		k.baton <- struct{}{}
-		return
+	p.state = procPooled
+	p.fn = nil
+	k.pool = append(k.pool, p)
+	k.hand = k.next()
+	if !p.yield(struct{}{}) {
+		return false
 	}
-	k.handoff(k.next())
+	p.state = procRunning
+	return true
 }
 
-// handoff transfers execution to next, or returns the baton to the Run
-// caller when the run is over.
-//
-//ccnic:noalloc
-func (k *Kernel) handoff(next *Proc) {
-	if next != nil {
-		next.resume <- true
-	} else {
-		k.baton <- struct{}{}
-	}
-}
+// Stop requests that Run return after the current process parks; remaining
+// processes are then aborted. Call from a running process or before Run.
+func (k *Kernel) Stop() { k.stopped = true }
 
 // next pops the next process to run and advances the clock, or returns nil
 // when the run is over (stop, deadline reached, completion, or deadlock —
@@ -327,10 +384,6 @@ func (k *Kernel) push(p *Proc) {
 	k.heap.push(p)
 }
 
-// Stop requests that Run return after the current process parks; remaining
-// processes are then aborted. Call from a running process or before Run.
-func (k *Kernel) Stop() { k.stopped = true }
-
 // Run executes processes in virtual-time order until all have finished, Stop
 // is called, or deadlock is detected. It returns an error wrapping
 // ErrDeadlock if processes remain blocked on events that nothing can signal.
@@ -354,9 +407,18 @@ func (k *Kernel) run(deadline Time) error {
 		k.deadline = -1
 		totalEvents.Add(k.events - start)
 	}()
-	if next := k.next(); next != nil {
-		next.resume <- true
-		<-k.baton
+	// The run loop: resume the next process; when it parks it has already
+	// selected its successor (k.hand), and when its function returns the
+	// loop retires it and pops the heap directly.
+	for p := k.next(); p != nil; {
+		k.hand = nil
+		if _, parked := p.resume(); !parked {
+			p.state = procDone
+			k.live--
+			p = k.next()
+			continue
+		}
+		p = k.hand
 	}
 	if k.probe != nil {
 		k.probe.RunEnd(k.now)
@@ -399,11 +461,10 @@ func (k *Kernel) deadlockError() error {
 	return fmt.Errorf("%w: %s", ErrDeadlock, b.String())
 }
 
-// Shutdown aborts every live process, unwinding its goroutine. The kernel
+// Shutdown aborts every live process, unwinding its coroutine. The kernel
 // must not be running. After Shutdown the kernel can still Spawn and Run new
 // processes, though typically a fresh kernel is created instead.
 func (k *Kernel) Shutdown() {
-	k.aborting = true
 	for {
 		p := k.heap.pop()
 		if p == nil {
@@ -420,15 +481,27 @@ func (k *Kernel) Shutdown() {
 		ev.reg = false
 	}
 	k.waitEvents = k.waitEvents[:0]
-	k.aborting = false
+	// Drain the reuse pool: cancelling a pooled coroutine makes its pending
+	// yield return false, so it exits its respawn loop. Pooled procs already
+	// left the live count when they retired.
+	for i, p := range k.pool {
+		p.cancel()
+		p.state = procDone
+		k.pool[i] = nil
+	}
+	k.pool = k.pool[:0]
 }
 
+// abort unwinds a parked (or never-started) process synchronously: cancel
+// makes the process's pending yield return false, which panics abortSignal
+// through its function; a process that never ran simply never starts.
 func (k *Kernel) abort(p *Proc) {
 	if p.state == procDone {
 		return
 	}
-	p.resume <- false
-	<-k.baton
+	p.cancel()
+	p.state = procDone
+	k.live--
 }
 
 // compactWaitEvents drops events that no longer have waiters and doubles the

@@ -1,0 +1,458 @@
+// Package shard runs a partitioned simulation: several sim.Kernel instances
+// (shards), each owning its own event heap and process set, advance
+// concurrently under conservative lookahead synchronization.
+//
+// The model is partitioned at its natural seams — in CC-NIC terms, per-node
+// pipelines whose only cross-node coupling is a physical link (UPI, PCIe, or
+// a network hop) with a declared minimum latency. That minimum latency is
+// the lookahead: a shard may safely advance its local clock to
+//
+//	horizon(i) = min over in-links (j->i) of floor(j) + minLatency(j->i)
+//
+// where floor(j) is the earliest instant shard j could still emit a message
+// (its next scheduled wakeup, or an already-queued inbound delivery that
+// could wake it). Because every link's minimum latency is strictly positive,
+// every round strictly advances at least one shard — the classical
+// conservative (CMB-style) progress guarantee.
+//
+// Execution is organized in barrier-synchronous rounds driven by Engine.Run:
+//
+//  1. compute every shard's floor, then every shard's horizon;
+//  2. deterministically merge each shard's pending inbound messages with
+//     delivery times within its horizon, ordered by (deliver time, source
+//     shard, link sequence), and inject them as kernel processes;
+//  3. run every shard's kernel to its horizon — in parallel on up to
+//     `workers` OS goroutines, or inline when workers <= 1;
+//  4. barrier: collect the messages each shard sent during the round into
+//     the destination links' queues.
+//
+// Within a round each kernel is single-threaded (the sim package guarantee),
+// each link outbox is written only by its source shard, and the engine alone
+// touches link queues between rounds, so the runtime needs no locks beyond
+// the barrier itself. Results are bit-identical for every worker count,
+// including fully serial execution: the merge order and the round structure
+// are pure functions of the model, never of goroutine scheduling.
+//
+// This package is the only place outside package sim itself where goroutines
+// are legal (enforced by cclint's detlint); model code stays deterministic
+// and single-threaded, and crosses shards only through Link.Send at declared
+// boundaries (enforced by cclint's shardlint).
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"ccnic/internal/sim"
+)
+
+// never is a floor/horizon value meaning "no event can ever arrive".
+const never = sim.Time(math.MaxInt64)
+
+// DeliverFunc handles one cross-shard message on the destination shard. It
+// runs as (part of) a simulation process on the destination kernel at the
+// message's delivery time and may use the full kernel API (signal events,
+// spawn processes, sleep).
+type DeliverFunc func(p *sim.Proc, payload any)
+
+// Engine coordinates a set of shards through conservative-lookahead rounds.
+type Engine struct {
+	workers int
+	shards  []*Shard
+	links   []*Link
+	running bool
+
+	// round scratch, reused across rounds to keep steady state light.
+	floors   []sim.Time
+	horizons []sim.Time
+	merge    []Message
+}
+
+// NewEngine creates an engine that runs shard rounds on up to workers
+// goroutines. workers <= 1 selects fully inline execution (no goroutines at
+// all); any value produces bit-identical results.
+func NewEngine(workers int) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Engine{workers: workers}
+}
+
+// Workers returns the configured worker-goroutine budget.
+func (e *Engine) Workers() int { return e.workers }
+
+// Shards returns the shards in creation (id) order.
+func (e *Engine) Shards() []*Shard { return e.shards }
+
+// Shard is one partition: a kernel plus its cross-shard link endpoints.
+type Shard struct {
+	id   int
+	name string
+	k    *sim.Kernel
+
+	in  []*Link // links delivering to this shard
+	out []*Link // links this shard sends on
+
+	err error // first kernel error of the current round
+}
+
+// NewShard registers a kernel as a shard. The kernel must be driven only
+// through the engine from this point on.
+func (e *Engine) NewShard(name string, k *sim.Kernel) *Shard {
+	s := &Shard{id: len(e.shards), name: name, k: k}
+	e.shards = append(e.shards, s)
+	return s
+}
+
+// ID returns the shard's stable id (creation order).
+func (s *Shard) ID() int { return s.id }
+
+// Name returns the shard's debug name.
+func (s *Shard) Name() string { return s.name }
+
+// Kernel returns the shard's kernel, for model construction and inspection
+// between Engine.Run calls.
+func (s *Shard) Kernel() *sim.Kernel { return s.k }
+
+// Affine is implemented by model components that declare their shard
+// affinity by exposing the kernel they issue events on (coherence.System,
+// pcie.Endpoint, device.Device, ...).
+type Affine interface {
+	Kernel() *sim.Kernel
+}
+
+// Adopt asserts that a component belongs to this shard: its declared
+// kernel must be the shard's kernel. Model assembly calls Adopt for every
+// component it places, turning a mis-partitioned model — a component whose
+// events would land on a foreign shard's heap — into an immediate, named
+// panic instead of a silent causality violation.
+func (s *Shard) Adopt(name string, c Affine) {
+	if c.Kernel() != s.k {
+		panic(fmt.Sprintf("shard: component %s adopted by shard %s but issues events on a foreign kernel",
+			name, s.name))
+	}
+}
+
+// Message is one cross-shard event in flight.
+type Message struct {
+	Deliver sim.Time // delivery instant on the destination shard
+	Payload any
+
+	src  int    // source shard id: first merge tiebreak
+	link int    // destination-link id: second merge tiebreak
+	seq  uint64 // per-link send sequence: final merge tiebreak
+}
+
+// Link is a declared shard boundary: a unidirectional, bounded, SPSC channel
+// from one shard to another with a strictly positive minimum latency that
+// serves as the destination's lookahead.
+type Link struct {
+	id       int
+	src, dst *Shard
+	minLat   sim.Time
+	capacity int
+	deliver  DeliverFunc
+
+	seq    uint64
+	outbox []Message // written by src's shard during a round
+	queue  []Message // pending at dst, engine-owned between rounds
+}
+
+// Connect declares a link from src to dst with the given minimum latency
+// (the lookahead, strictly positive) and FIFO capacity (messages in flight;
+// <= 0 selects a generous default). deliver runs on dst's kernel for each
+// message.
+func (e *Engine) Connect(src, dst *Shard, minLat sim.Time, capacity int, deliver DeliverFunc) *Link {
+	if minLat <= 0 {
+		panic("shard: link minimum latency must be strictly positive (it is the lookahead)")
+	}
+	if src == dst {
+		panic("shard: a link must cross shards")
+	}
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	l := &Link{
+		id:       len(e.links),
+		src:      src,
+		dst:      dst,
+		minLat:   minLat,
+		capacity: capacity,
+		deliver:  deliver,
+	}
+	e.links = append(e.links, l)
+	src.out = append(src.out, l)
+	dst.in = append(dst.in, l)
+	return l
+}
+
+// MinLatency returns the link's declared minimum latency (the lookahead).
+func (l *Link) MinLatency() sim.Time { return l.minLat }
+
+// Send queues a message across the link, to be delivered delay after the
+// source shard's current instant. It must be called from a process of the
+// source shard (the declared boundary), and delay must be at least the
+// link's minimum latency — both are checked, because either violation would
+// silently break the conservative horizon math.
+func (l *Link) Send(p *sim.Proc, delay sim.Time, payload any) {
+	if p.Kernel() != l.src.k {
+		panic(fmt.Sprintf("shard: Send on link %s->%s from a process of another shard",
+			l.src.name, l.dst.name))
+	}
+	if delay < l.minLat {
+		panic(fmt.Sprintf("shard: Send on link %s->%s with delay %v below the declared minimum latency %v",
+			l.src.name, l.dst.name, delay, l.minLat))
+	}
+	if len(l.outbox)+len(l.queue) >= l.capacity {
+		panic(fmt.Sprintf("shard: link %s->%s FIFO overflow (capacity %d)",
+			l.src.name, l.dst.name, l.capacity))
+	}
+	l.seq++
+	l.outbox = append(l.outbox, Message{
+		Deliver: p.Now() + delay,
+		Payload: payload,
+		src:     l.src.id,
+		link:    l.id,
+		seq:     l.seq,
+	})
+}
+
+// localFloor returns the earliest instant the shard could wake from its own
+// state: its kernel's next scheduled wakeup or the earliest pending inbound
+// delivery, whichever comes first; never if both are absent.
+func (e *Engine) localFloor(s *Shard) sim.Time {
+	f := never
+	if wake, ok := s.k.NextWake(); ok {
+		f = wake
+	}
+	for _, l := range s.in {
+		for i := range l.queue {
+			if l.queue[i].Deliver < f {
+				f = l.queue[i].Deliver
+			}
+		}
+	}
+	return f
+}
+
+// relaxFloors lowers each shard's floor to the conservative fixpoint
+//
+//	floor(i) = min(localFloor(i), min over in-links (floor(src) + minLat))
+//
+// One-hop floors alone are unsafe: a quiet shard can be woken by a neighbor
+// earlier than its own next event and relay a message onward, so "earliest
+// possible emission" must propagate transitively. Relaxation terminates
+// because floors only decrease, in whole-picosecond steps, and every link
+// latency is strictly positive (the classic Bellman-Ford argument).
+func (e *Engine) relaxFloors() {
+	for changed := true; changed; {
+		changed = false
+		for _, l := range e.links {
+			f := e.floors[l.src.id]
+			if f == never {
+				continue
+			}
+			if v := f + l.minLat; v < e.floors[l.dst.id] {
+				e.floors[l.dst.id] = v
+				changed = true
+			}
+		}
+	}
+}
+
+// Run advances all shards to virtual time `until`. It returns when every
+// shard has reached `until`, or earlier when the whole system is quiescent
+// (no scheduled process and no message in flight anywhere). Repeated calls
+// with increasing `until` continue the same simulation.
+func (e *Engine) Run(until sim.Time) error {
+	if e.running {
+		return fmt.Errorf("shard: engine already running")
+	}
+	if len(e.shards) == 0 {
+		return nil
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	e.floors = e.floors[:0]
+	e.horizons = e.horizons[:0]
+	for range e.shards {
+		e.floors = append(e.floors, 0)
+		e.horizons = append(e.horizons, 0)
+	}
+
+	for {
+		// Phase 1: floors (relaxed to the conservative fixpoint), then
+		// horizons from the declared lookaheads.
+		quiescent := true
+		for i, s := range e.shards {
+			e.floors[i] = e.localFloor(s)
+			if e.floors[i] != never {
+				quiescent = false
+			}
+		}
+		if quiescent {
+			return nil
+		}
+		e.relaxFloors()
+		for i, s := range e.shards {
+			h := until
+			for _, l := range s.in {
+				if f := e.floors[l.src.id]; f != never && f+l.minLat < h {
+					h = f + l.minLat
+				}
+			}
+			e.horizons[i] = h
+		}
+
+		// Phase 2: deterministic merge-and-inject, then run each shard
+		// that has an event inside its horizon. (A shard whose clock lags
+		// its horizon but has no event to execute is skipped: an empty
+		// kernel cannot advance its own clock, and running it would spin.)
+		ran := 0
+		for i, s := range e.shards {
+			e.inject(s, e.horizons[i])
+			if firstWake(s.k) <= e.horizons[i] {
+				ran++
+			} else {
+				e.horizons[i] = -1 // skip marker
+			}
+		}
+		if ran == 0 {
+			// Every remaining event and pending delivery lies beyond its
+			// shard's horizon, which is capped at until: the window is
+			// exhausted.
+			return nil
+		}
+		e.runRound()
+		for _, s := range e.shards {
+			if s.err != nil {
+				return fmt.Errorf("shard %s: %w", s.name, s.err)
+			}
+		}
+
+		// Phase 3 (barrier passed): move round sends into link queues, in
+		// fixed link order so queue contents are schedule-independent.
+		for _, l := range e.links {
+			l.queue = append(l.queue, l.outbox...)
+			l.outbox = l.outbox[:0]
+		}
+
+		done := true
+		for _, s := range e.shards {
+			if s.k.Now() < until {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// firstWake returns the kernel's next scheduled instant, or never.
+func firstWake(k *sim.Kernel) sim.Time {
+	if wake, ok := k.NextWake(); ok {
+		return wake
+	}
+	return never
+}
+
+// inject merges the shard's pending inbound messages with delivery times
+// within horizon — ordered by (deliver, source shard, link, sequence) — and
+// schedules each as a process on the shard's kernel. Injection happens
+// before the round runs, so the merge order is independent of worker count.
+func (e *Engine) inject(s *Shard, horizon sim.Time) {
+	e.merge = e.merge[:0]
+	for _, l := range s.in {
+		kept := l.queue[:0]
+		for _, m := range l.queue {
+			if m.Deliver <= horizon {
+				e.merge = append(e.merge, m)
+			} else {
+				kept = append(kept, m)
+			}
+		}
+		for i := len(kept); i < len(l.queue); i++ {
+			l.queue[i] = Message{}
+		}
+		l.queue = kept
+	}
+	if len(e.merge) == 0 {
+		return
+	}
+	sort.SliceStable(e.merge, func(a, b int) bool {
+		ma, mb := &e.merge[a], &e.merge[b]
+		if ma.Deliver != mb.Deliver {
+			return ma.Deliver < mb.Deliver
+		}
+		if ma.src != mb.src {
+			return ma.src < mb.src
+		}
+		if ma.link != mb.link {
+			return ma.link < mb.link
+		}
+		return ma.seq < mb.seq
+	})
+	for _, m := range e.merge {
+		m := m
+		deliver := e.links[m.link].deliver
+		wait := m.Deliver - s.k.Now()
+		s.k.Spawn("shard.deliver", func(p *sim.Proc) {
+			p.Sleep(wait)
+			deliver(p, m.Payload)
+		})
+	}
+}
+
+// runRound drives every non-skipped shard to its horizon, fanning out to the
+// worker budget. Worker count never affects results: shards share no state
+// during a round, and all cross-shard traffic is reconciled at the barrier.
+func (e *Engine) runRound() {
+	runnable := make([]*Shard, 0, len(e.shards))
+	for i, s := range e.shards {
+		if e.horizons[i] >= 0 {
+			runnable = append(runnable, s)
+		}
+	}
+	w := e.workers
+	if w > len(runnable) {
+		w = len(runnable)
+	}
+	if w <= 1 {
+		for _, s := range runnable {
+			e.runShard(s)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan *Shard, len(runnable))
+	for _, s := range runnable {
+		next <- s
+	}
+	close(next)
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() { //ccnic:nondet-ok barrier-synchronous fan-out; shards share no state within a round
+			defer wg.Done()
+			for s := range next {
+				e.runShard(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runShard advances one shard to its horizon, capturing kernel errors and
+// model panics for the engine to surface after the barrier.
+func (e *Engine) runShard(s *Shard) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	s.err = s.k.RunUntil(e.horizons[s.id])
+}

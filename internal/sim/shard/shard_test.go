@@ -1,0 +1,271 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ccnic/internal/sim"
+)
+
+// ringModel builds n shards in a ring. Each shard runs a local ticker (pure
+// intra-shard events) and relays a token to its successor with the given
+// link latency, recording every delivery in a per-shard trace. Returns the
+// engine and the per-shard traces.
+func ringModel(n, workers int, lat sim.Time) (*Engine, []*[]string) {
+	e := NewEngine(workers)
+	traces := make([]*[]string, n)
+	shards := make([]*Shard, n)
+	for i := 0; i < n; i++ {
+		t := &[]string{}
+		traces[i] = t
+		shards[i] = e.NewShard(fmt.Sprintf("s%d", i), sim.New())
+	}
+	links := make([]*Link, n)
+	for i := 0; i < n; i++ {
+		dst := (i + 1) % n
+		tr := traces[dst]
+		out := links // captured; filled below
+		i := i
+		links[i] = e.Connect(shards[i], shards[dst], lat, 0, func(p *sim.Proc, payload any) {
+			hop := payload.(int)
+			*tr = append(*tr, fmt.Sprintf("%d@%v hop=%d", dst, p.Now(), hop))
+			if hop < 40 {
+				// Local work before relaying, then forward on this shard's
+				// own out-link.
+				p.Sleep(3 * sim.Nanosecond)
+				out[(i+1)%n].Send(p, lat, hop+1)
+			}
+		})
+	}
+	// Local tickers: intra-shard load at incommensurate periods.
+	for i, s := range shards {
+		tr := traces[i]
+		id := i
+		period := sim.Time(7+3*i) * sim.Nanosecond
+		s.Kernel().Spawn("ticker", func(p *sim.Proc) {
+			for j := 0; j < 50; j++ {
+				p.Sleep(period)
+				*tr = append(*tr, fmt.Sprintf("%d@%v tick", id, p.Now()))
+			}
+		})
+	}
+	// Seed the token from shard 0.
+	shards[0].Kernel().Spawn("seed", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Nanosecond)
+		links[0].Send(p, lat, 1)
+	})
+	return e, traces
+}
+
+func flatten(traces []*[]string) string {
+	var b strings.Builder
+	for i, t := range traces {
+		fmt.Fprintf(&b, "-- shard %d --\n", i)
+		for _, line := range *t {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func runRing(t *testing.T, n, workers int) string {
+	t.Helper()
+	e, traces := ringModel(n, workers, 20*sim.Nanosecond)
+	if err := e.Run(10 * sim.Microsecond); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return flatten(traces)
+}
+
+// TestWorkerCountInvariance is the engine's core guarantee: the merged event
+// history is bit-identical for every worker budget, twice each.
+func TestWorkerCountInvariance(t *testing.T) {
+	ref := runRing(t, 4, 1)
+	if !strings.Contains(ref, "hop=40") {
+		t.Fatalf("token did not complete 40 hops:\n%s", ref)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for rep := 0; rep < 2; rep++ {
+			if got := runRing(t, 4, workers); got != ref {
+				t.Fatalf("trace diverged at workers=%d rep=%d", workers, rep)
+			}
+		}
+	}
+}
+
+// TestMatchesSingleKernel checks delivery timing against the analytically
+// expected schedule: each hop is link latency plus 3ns of local work.
+func TestMatchesSingleKernel(t *testing.T) {
+	e, traces := ringModel(2, 1, 20*sim.Nanosecond)
+	if err := e.Run(10 * sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	// Token seeded at 5ns, first delivery at 25ns, then every 23ns.
+	want := 25 * sim.Nanosecond
+	hop := 1
+	for i := 0; hop <= 40; i = 1 - i {
+		var found string
+		for _, line := range *traces[(hop)%2] {
+			if strings.Contains(line, fmt.Sprintf("hop=%d", hop)) {
+				found = line
+				break
+			}
+		}
+		wantLine := fmt.Sprintf("%d@%v hop=%d", hop%2, want, hop)
+		if found != wantLine {
+			t.Fatalf("hop %d: got %q, want %q", hop, found, wantLine)
+		}
+		want += 23 * sim.Nanosecond
+		hop++
+	}
+}
+
+// TestQuiescence: with no work at all, Run returns immediately; with finite
+// work, Run returns once everything drains even when until is far away.
+func TestQuiescence(t *testing.T) {
+	e := NewEngine(2)
+	a := e.NewShard("a", sim.New())
+	b := e.NewShard("b", sim.New())
+	var got []sim.Time
+	l := e.Connect(a, b, sim.Microsecond, 0, func(p *sim.Proc, payload any) {
+		got = append(got, p.Now())
+	})
+	if err := e.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	a.Kernel().Spawn("one", func(p *sim.Proc) {
+		p.Sleep(3 * sim.Microsecond)
+		l.Send(p, sim.Microsecond, nil)
+	})
+	if err := e.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 4*sim.Microsecond {
+		t.Fatalf("deliveries = %v, want [4µs]", got)
+	}
+}
+
+// TestRepeatedRunContinues: messages beyond until stay queued and deliver on
+// the next Run call.
+func TestRepeatedRunContinues(t *testing.T) {
+	e := NewEngine(1)
+	a := e.NewShard("a", sim.New())
+	b := e.NewShard("b", sim.New())
+	var got []sim.Time
+	l := e.Connect(a, b, sim.Microsecond, 0, func(p *sim.Proc, payload any) {
+		got = append(got, p.Now())
+	})
+	a.Kernel().Spawn("late", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Microsecond)
+		l.Send(p, 2*sim.Microsecond, nil)
+	})
+	if err := e.Run(6 * sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("message delivered before its time: %v", got)
+	}
+	if err := e.Run(10 * sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 7*sim.Microsecond {
+		t.Fatalf("deliveries = %v, want [7µs]", got)
+	}
+}
+
+// TestLookaheadViolation: sends below the declared minimum latency and sends
+// from a foreign shard both panic in the model, which the engine surfaces as
+// a run error naming the link.
+func TestLookaheadViolation(t *testing.T) {
+	expectErr := func(name, want string, spawnOnSrc bool, fn func(l *Link, p *sim.Proc)) {
+		t.Helper()
+		e := NewEngine(1)
+		a := e.NewShard("a", sim.New())
+		b := e.NewShard("b", sim.New())
+		l := e.Connect(a, b, sim.Microsecond, 0, func(p *sim.Proc, payload any) {})
+		k := a.Kernel()
+		if !spawnOnSrc {
+			k = b.Kernel()
+		}
+		k.Spawn(name, func(p *sim.Proc) { fn(l, p) })
+		err := e.Run(sim.Second)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Fatalf("%s: err = %v, want %q", name, err, want)
+		}
+	}
+	expectErr("below-lookahead", "below the declared minimum latency", true,
+		func(l *Link, p *sim.Proc) { l.Send(p, sim.Nanosecond, nil) })
+	expectErr("foreign", "another shard", false,
+		func(l *Link, p *sim.Proc) { l.Send(p, 2*sim.Microsecond, nil) })
+}
+
+// TestFIFOOverflow: a link's bounded capacity is enforced.
+func TestFIFOOverflow(t *testing.T) {
+	e := NewEngine(1)
+	a := e.NewShard("a", sim.New())
+	b := e.NewShard("b", sim.New())
+	l := e.Connect(a, b, sim.Microsecond, 4, func(p *sim.Proc, payload any) {})
+	a.Kernel().Spawn("flood", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			l.Send(p, sim.Microsecond, i)
+		}
+	})
+	err := e.Run(sim.Second)
+	if err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("err = %v, want FIFO overflow", err)
+	}
+}
+
+// TestZeroLookaheadRejected: links must declare strictly positive latency.
+func TestZeroLookaheadRejected(t *testing.T) {
+	e := NewEngine(1)
+	a := e.NewShard("a", sim.New())
+	b := e.NewShard("b", sim.New())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero lookahead")
+		}
+	}()
+	e.Connect(a, b, 0, 0, func(p *sim.Proc, payload any) {})
+}
+
+// TestTransitiveWakeup reproduces the case one-hop floors get wrong: a quiet
+// middle shard whose only activity is relaying a neighbor's message must not
+// let its downstream neighbor run ahead of the relayed delivery.
+func TestTransitiveWakeup(t *testing.T) {
+	e := NewEngine(2)
+	a := e.NewShard("a", sim.New())
+	mid := e.NewShard("mid", sim.New())
+	c := e.NewShard("c", sim.New())
+
+	var order []string
+	lMC := e.Connect(mid, c, sim.Nanosecond, 0, func(p *sim.Proc, payload any) {
+		order = append(order, fmt.Sprintf("relay@%v", p.Now()))
+	})
+	e.Connect(a, mid, sim.Nanosecond, 0, func(p *sim.Proc, payload any) {
+		// mid is otherwise idle: its only emission is this relay.
+		lMC.Send(p, sim.Nanosecond, payload)
+	})
+	// c has dense local activity far in the future relative to the relay.
+	c.Kernel().Spawn("local", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			p.Sleep(10 * sim.Nanosecond)
+			order = append(order, fmt.Sprintf("local@%v", p.Now()))
+		}
+	})
+	a.Kernel().Spawn("src", func(p *sim.Proc) {
+		p.Sleep(sim.Nanosecond)
+		e.links[1].Send(p, sim.Nanosecond, "x")
+	})
+	if err := e.Run(sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	// Relay arrives at c at t=3ns, strictly before c's first local event at
+	// 10ns; order must reflect that.
+	want := fmt.Sprintf("relay@%v", 3*sim.Nanosecond)
+	if len(order) == 0 || order[0] != want {
+		t.Fatalf("order[0] = %v, want %s (one-hop floors would misorder)", order, want)
+	}
+}

@@ -1,9 +1,11 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
-// The kernel schedules cooperative processes (goroutines) so that exactly one
-// process runs at a time, in strict virtual-time order. Model code therefore
-// needs no locks, and every run with the same inputs produces identical
-// results: there is no wall-clock or scheduler nondeterminism.
+// The kernel schedules cooperative processes (coroutines, pooled and reused
+// across Spawn calls) so that exactly one process runs at a time, in strict
+// virtual-time order. Model code therefore needs no locks, and every run with
+// the same inputs produces identical results: there is no wall-clock or
+// scheduler nondeterminism. Partitioned models with several kernels advancing
+// in parallel are the job of the sim/shard subpackage.
 //
 // Virtual time is measured in picoseconds so that sub-nanosecond costs (for
 // example per-byte link serialization) accumulate without rounding error.
