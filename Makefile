@@ -12,6 +12,9 @@
 #                     and the multi-shard cluster trajectory point)
 #   make faults       quick fault matrix: property harness, recovery-path
 #                     tests, and fault experiments with invariants attached
+#   make protocols    quick protocol matrix: differential + transition tests,
+#                     the protocol property sweep, and a checked CXL ccbench
+#                     pass (the full UPI x CXL x seed grid runs in CI)
 #   make bench-json   regenerate the host-perf trajectory file (minutes)
 #   make golden-check full suite with online invariant checks, diffed against
 #                     the committed golden transcript (minutes)
@@ -23,9 +26,9 @@
 
 GO ?= go
 
-.PHONY: check verify lint vet race bench-smoke faults bench-json golden-check golden-shards golden
+.PHONY: check verify lint vet race bench-smoke faults protocols bench-json golden-check golden-shards golden
 
-check: verify lint vet race bench-smoke faults golden-check
+check: verify lint vet race bench-smoke faults protocols golden-check
 
 verify:
 	$(GO) build ./...
@@ -55,6 +58,14 @@ faults:
 	$(GO) test -count=1 -run 'Fault' ./internal/check/prop/
 	$(GO) test -count=1 -run 'Retransmit|Stall' ./internal/rpcstack/ ./internal/kvstore/
 	$(GO) run ./cmd/ccbench -quick -check -faults all=0.01 faults-rate faults-recovery > /dev/null
+
+# Quick local protocol matrix: the CXL transition table, the UPI/CXL
+# differential tests, the CXL engine self-tests, the protocol property
+# sweep, and a checked quick ccbench pass under the CXL backend. The full
+# UPI x CXL x seed grid runs in CI (protocol-matrix job).
+protocols:
+	$(GO) test -count=1 -run 'CXL|Protocol' ./internal/coherence/ ./internal/check/ ./internal/check/prop/
+	$(GO) run ./cmd/ccbench -quick -check -protocol cxl fig13 fig17 proto-sweep > /dev/null
 
 bench-json:
 	$(GO) run ./cmd/ccbench -all -cluster -json BENCH_PR6.json

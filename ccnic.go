@@ -122,6 +122,14 @@ type Config struct {
 	// ablations (Figs 14, 15). Ignored by PCIe interfaces.
 	UPI *device.UPIConfig
 
+	// Protocol selects the coherent-interconnect protocol backend: "UPI"
+	// (the default) or "CXL". Empty falls back to the package default set
+	// by SetDefaultProtocol. PCIe interfaces (E810, CX6) still build the
+	// coherent memory system for the host side, so the selection applies
+	// to every interface; only the UPI/CXL design points move their data
+	// plane across the protocol's link.
+	Protocol string
+
 	// Faults optionally arms a deterministic fault-injection plan (see
 	// internal/fault). Nil falls back to the package default set by
 	// SetDefaultFaults; an unarmed plan injects nothing and leaves every
@@ -152,6 +160,29 @@ type FaultPlan = fault.Plan
 
 // ParseFaultPlan re-exports the fault-plan spec parser ("seed=7,link=0.002").
 func ParseFaultPlan(spec string) (*fault.Plan, error) { return fault.ParsePlan(spec) }
+
+// Protocol re-exports the coherence protocol selector.
+type Protocol = coherence.Protocol
+
+// The protocol backends.
+const (
+	ProtoUPI = coherence.ProtoUPI
+	ProtoCXL = coherence.ProtoCXL
+)
+
+// ParseProtocol re-exports the protocol-name parser ("upi", "cxl", "").
+func ParseProtocol(name string) (Protocol, error) { return coherence.ParseProtocol(name) }
+
+// defaultProtocol is applied to testbeds whose Config.Protocol is empty;
+// set by SetDefaultProtocol (the -protocol command-line path).
+var defaultProtocol Protocol
+
+// SetDefaultProtocol selects the protocol backend for every subsequently
+// built testbed whose Config leaves Protocol empty. Commands use this to
+// honor a -protocol flag without threading it through every experiment;
+// ccbench refuses to combine a non-default protocol with golden
+// comparisons (goldens are UPI-pinned).
+func SetDefaultProtocol(p Protocol) { defaultProtocol = p }
 
 // Testbed is an assembled simulation: kernel, memory system, device, and
 // one host agent per queue.
@@ -191,8 +222,17 @@ func NewTestbed(cfg Config) *Testbed {
 			queues, plat.Name, plat.CoresPerSocket))
 	}
 
+	proto := defaultProtocol
+	if cfg.Protocol != "" {
+		var err error
+		proto, err = coherence.ParseProtocol(cfg.Protocol)
+		if err != nil {
+			panic("ccnic: " + err.Error())
+		}
+	}
+
 	k := sim.New()
-	sys := coherence.NewSystem(k, plat)
+	sys := coherence.NewSystemProto(k, plat, proto)
 	sys.SetPrefetch(0, cfg.HostPrefetch)
 	sys.SetPrefetch(1, cfg.NICPrefetch)
 

@@ -83,6 +83,7 @@ func main() {
 	goldenPath := flag.String("golden", "", "diff each experiment's output against golden `file`; exit 1 on any mismatch")
 	hashesPath := flag.String("hashes", "", "write a JSON map of experiment id -> sha256 of normalized output to `file`")
 	faultsSpec := flag.String("faults", "", "arm a deterministic fault `plan`, e.g. \"seed=7,dbdrop=0.01\" or \"all=0.005\" (see internal/fault)")
+	protoSpec := flag.String("protocol", "", "coherence `protocol` backend for testbed experiments: upi (default) or cxl; micro-benchmarks that pin their own system are unaffected")
 	shardsFlag := flag.Int("shards", 1, "worker budget: `N` > 1 runs experiments on N concurrent workers (output and checks are order-preserving and bit-identical to serial runs) and parallelizes -cluster")
 	clusterFlag := flag.Bool("cluster", false, "run the multi-host cluster scenario on the parallel shard engine and record its aggregate rate (the multi_shard trajectory point)")
 	hostsFlag := flag.Int("hosts", 0, "cluster member nodes for -cluster (default max(shards, 8))")
@@ -163,6 +164,19 @@ func main() {
 		ccnic.SetDefaultFaults(plan)
 		if plan != nil {
 			fmt.Fprintf(os.Stderr, "ccbench: fault plan armed: %s\n", plan)
+		}
+	}
+	if *protoSpec != "" {
+		proto, err := ccnic.ParseProtocol(*protoSpec)
+		if err != nil {
+			fatalf("ccbench: %v", err)
+		}
+		if proto != ccnic.ProtoUPI && (*goldenPath != "" || *hashesPath != "") {
+			fatalf("ccbench: goldens are pinned to the default UPI backend; golden and hash runs must not select -protocol %v", proto)
+		}
+		ccnic.SetDefaultProtocol(proto)
+		if proto != ccnic.ProtoUPI {
+			fmt.Fprintf(os.Stderr, "ccbench: protocol backend: %v\n", proto)
 		}
 	}
 	if *checkFlag {

@@ -39,6 +39,7 @@ func main() {
 		prefetch = flag.Bool("prefetch", true, "host hardware prefetching")
 		doTrace  = flag.Bool("trace", false, "sample packet lifecycles and print a stage breakdown (loopback only)")
 		overlayN = flag.Int("overlay-threads", 0, "overlay forwarding threads (0 = one per queue)")
+		protoStr = flag.String("protocol", "upi", "coherence protocol backend: upi or cxl")
 		faults   = flag.String("faults", "", "arm a deterministic fault `plan`, e.g. \"seed=7,dbdrop=0.01\" or \"all=0.005\" (see internal/fault)")
 		shards   = flag.Int("shards", 0, "cluster workload: partition the hosts into `N` shards on the parallel engine (0 = one per host; results are identical for every value)")
 		hosts    = flag.Int("hosts", 0, "cluster workload: member node count (default 4)")
@@ -71,9 +72,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	if _, err := ccnic.ParseProtocol(*protoStr); err != nil {
+		fmt.Fprintf(os.Stderr, "ccnicsim: %v\n", err)
+		os.Exit(1)
+	}
+
 	tb := ccnic.NewTestbed(ccnic.Config{
 		Platform:       *platName,
 		Interface:      iface,
+		Protocol:       *protoStr,
 		Queues:         *queues,
 		HostPrefetch:   *prefetch,
 		OverlayThreads: *overlayN,
@@ -82,7 +89,8 @@ func main() {
 	meas := sim.Time(*measure * float64(sim.Microsecond))
 	warm := meas / 3
 
-	fmt.Printf("platform %s, interface %v, %d queues, %dB packets\n", tb.Plat.Name, iface, *queues, *pkt)
+	fmt.Printf("platform %s, interface %v over %s, %d queues, %dB packets\n",
+		tb.Plat.Name, iface, tb.Sys.Link().Label(), *queues, *pkt)
 	if plan != nil {
 		fmt.Printf("fault plan armed: %s\n", plan)
 	}
@@ -144,12 +152,16 @@ func main() {
 
 	st := tb.Sys.Link().Stats()
 	now := tb.Kernel.Now()
-	fmt.Printf("\ninterconnect: %.1f/%.1f GB wire to-NIC/to-host, utilization %.0f%%/%.0f%%\n",
+	fmt.Printf("\n%s interconnect: %.1f/%.1f GB wire to-NIC/to-host, utilization %.0f%%/%.0f%%\n",
+		tb.Sys.Link().Label(),
 		float64(st.WireBytes[0])/1e9, float64(st.WireBytes[1])/1e9,
 		tb.Sys.Link().Utilization(0, now)*100, tb.Sys.Link().Utilization(1, now)*100)
 	c0, c1 := tb.Sys.Counters(0), tb.Sys.Counters(1)
 	fmt.Printf("remote accesses: host %d rd / %d rfo, NIC-side %d rd / %d rfo\n",
 		c0.RemoteRead, c0.RemoteRFO, c1.RemoteRead, c1.RemoteRFO)
+	if tb.Sys.Protocol() == ccnic.ProtoCXL {
+		fmt.Printf("cxl: %d bias flips host-side, %d NIC-side\n", c0.BiasFlips, c1.BiasFlips)
+	}
 	if flt := tb.Sys.Faults(); flt != nil {
 		fmt.Printf("\n%s", flt.Stats().Format())
 	}

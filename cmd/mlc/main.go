@@ -19,6 +19,7 @@ import (
 func main() {
 	platName := flag.String("platform", "ICX", "platform: ICX or SPR")
 	cores := flag.Int("cores", 0, "streaming reader cores (default: all)")
+	protoStr := flag.String("protocol", "upi", "coherence protocol backend: upi or cxl")
 	flag.Parse()
 
 	plat := platform.ByName(*platName)
@@ -26,20 +27,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mlc: unknown platform %q\n", *platName)
 		os.Exit(1)
 	}
+	proto, err := coherence.ParseProtocol(*protoStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlc: %v\n", err)
+		os.Exit(1)
+	}
 	if *cores == 0 {
 		*cores = plat.CoresPerSocket
 	}
 
 	fmt.Printf("Simulated Memory Latency Checker — %s\n\n", plat.Name)
-	latencies(plat)
+	latencies(plat, proto)
 	fmt.Println()
-	bandwidth(plat, *cores)
+	bandwidth(plat, proto, *cores)
 }
 
 // latencies prints the idle access-latency matrix.
-func latencies(plat *platform.Platform) {
+func latencies(plat *platform.Platform, proto coherence.Protocol) {
 	k := sim.New()
-	sys := coherence.NewSystem(k, plat)
+	sys := coherence.NewSystemProto(k, plat, proto)
 	fmt.Println("Idle latencies (ns):")
 	k.Spawn("lat", func(p *sim.Proc) {
 		local := sys.NewAgent(0, "l")
@@ -65,13 +71,13 @@ func latencies(plat *platform.Platform) {
 	}
 }
 
-// bandwidth measures read-only cross-UPI streaming throughput — the
-// paper's "maximum achievable interconnect throughput" reference point,
+// bandwidth measures read-only cross-interconnect streaming throughput —
+// the paper's "maximum achievable interconnect throughput" reference point,
 // measured as mlc does with a pure remote-read workload over regions too
 // large to stay cached between passes.
-func bandwidth(plat *platform.Platform, cores int) {
+func bandwidth(plat *platform.Platform, proto coherence.Protocol, cores int) {
 	k := sim.New()
-	sys := coherence.NewSystem(k, plat)
+	sys := coherence.NewSystemProto(k, plat, proto)
 	region := 6 << 20 // per-core region: too large to stay cached
 	passes := 1
 	var total int64
@@ -89,7 +95,7 @@ func bandwidth(plat *platform.Platform, cores int) {
 		panic(err)
 	}
 	el := k.Now()
-	fmt.Printf("Cross-UPI read-only streaming, %d cores:\n", cores)
+	fmt.Printf("Cross-%s read-only streaming, %d cores:\n", sys.Link().Label(), cores)
 	fmt.Printf("  data throughput: %.0f Gbps (%.1f GB/s)\n",
 		float64(total)*8/el.Nanoseconds(), float64(total)/el.Nanoseconds())
 	fmt.Printf("  (paper reference: 443 Gbps ICX, 1020 Gbps SPR)\n")

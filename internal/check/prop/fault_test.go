@@ -111,6 +111,7 @@ func TestMutationStillCaughtUnderFaults(t *testing.T) {
 		if sc.Iface != IfaceCCNIC || sc.Workload != "loopback" {
 			continue
 		}
+		sc.Protocol = "UPI" // the stale-migration defect is UPI-only
 		sc.Faults = "seed=5,all=0.01"
 		out := sc.Run(coherence.MutateStaleMigration, 1<<12)
 		if len(out.Violations) == 0 {

@@ -54,6 +54,11 @@ type Scenario struct {
 	// "seed=3,dbdrop=0.01"). The zero value runs fault-free, so existing
 	// scenario fingerprints are unchanged.
 	Faults string
+
+	// Protocol selects the coherent-interconnect backend ("UPI" or "CXL",
+	// parsed by coherence.ParseProtocol). The zero value runs UPI, so
+	// pre-protocol scenario fingerprints are unchanged.
+	Protocol string
 }
 
 func (sc Scenario) String() string {
@@ -62,6 +67,9 @@ func (sc Scenario) String() string {
 		sc.Cfg.Layout, sc.Cfg.Recycle, sc.Cfg.SmallBufs, sc.Cfg.Sequential, sc.Cfg.NICBufMgmt, sc.Cfg.RingLines)
 	if sc.Faults != "" {
 		s += " faults=" + sc.Faults
+	}
+	if sc.Protocol != "" {
+		s += " proto=" + sc.Protocol
 	}
 	return s
 }
@@ -100,6 +108,9 @@ func Generate(seed int64) Scenario {
 		cfg.NICBurst = []int{8, 16, 32}[rng.Intn(3)]
 		sc.Cfg = cfg
 	}
+	// Protocol is drawn last so the draws above — and with them every
+	// pre-protocol scenario shape — are unchanged for a given seed.
+	sc.Protocol = [...]string{"UPI", "CXL"}[rng.Intn(2)]
 	return sc
 }
 
@@ -122,7 +133,11 @@ func (sc Scenario) Run(mut coherence.Mutation, fullEvery uint64) Outcome {
 	if sc.Platform == "SPR" {
 		plat = platform.SPR()
 	}
-	sys := coherence.NewSystem(k, plat)
+	proto, err := coherence.ParseProtocol(sc.Protocol)
+	if err != nil {
+		panic("prop: " + err.Error())
+	}
+	sys := coherence.NewSystemProto(k, plat, proto)
 	sys.SetPrefetch(0, true)
 	e := check.Attach(sys)
 	e.SetCollect(true)

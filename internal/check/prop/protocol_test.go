@@ -1,0 +1,95 @@
+package prop
+
+import (
+	"testing"
+
+	"ccnic/internal/coherence"
+)
+
+// TestProtocolBothBackendsCleanAndDeterministic runs every seeded scenario
+// under both protocol backends — overriding whatever protocol the generator
+// drew — and asserts each backend is invariant-clean and bit-deterministic
+// across a run-twice pair. This is the protocol-matrix core: the same
+// workload shape must be simulatable under UPI and CXL without the engine
+// finding anything, and each backend must reproduce itself exactly.
+func TestProtocolBothBackendsCleanAndDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol-matrix sweep")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		for _, proto := range []string{"UPI", "CXL"} {
+			sc := Generate(seed)
+			sc.Protocol = proto
+			t.Run(sc.String(), func(t *testing.T) {
+				t.Parallel()
+				a := sc.Run(coherence.MutateNone, 1<<16)
+				b := sc.Run(coherence.MutateNone, 1<<16)
+				if len(a.Violations) != 0 {
+					t.Fatalf("invariant violations in a clean %s run: %v", proto, a.Violations)
+				}
+				if a.Fingerprint != b.Fingerprint {
+					t.Fatalf("%s nondeterministic:\n run1: %s\n run2: %s", proto, a.Fingerprint, b.Fingerprint)
+				}
+				if a.Checks == 0 {
+					t.Error("engine performed no checks")
+				}
+			})
+		}
+	}
+}
+
+// TestProtocolChangesTiming: switching the backend on a coherent-interface
+// scenario must actually change the simulation (CXL prices crossings
+// differently and never migrates), or the protocol plumbing is not reaching
+// the system.
+func TestProtocolChangesTiming(t *testing.T) {
+	found := false
+	for seed := int64(1); seed <= 40; seed++ {
+		sc := Generate(seed)
+		if sc.Iface != IfaceCCNIC || sc.Workload != "loopback" {
+			continue
+		}
+		sc.Protocol = "UPI"
+		upi := sc.Run(coherence.MutateNone, 1<<18)
+		sc.Protocol = "CXL"
+		cxl := sc.Run(coherence.MutateNone, 1<<18)
+		if upi.Fingerprint == cxl.Fingerprint {
+			t.Errorf("%s: UPI and CXL produced identical fingerprints: %s", sc, upi.Fingerprint)
+		}
+		found = true
+		break
+	}
+	if !found {
+		t.Fatal("no coherent loopback scenarios generated in 40 seeds")
+	}
+}
+
+// TestCXLMutationCaughtAcrossScenarios arms the CXL snoop-filter defect and
+// asserts the engine catches it on every coherent-interface scenario the
+// generator produces — the CXL counterpart of the stale-migration sweep.
+// The loopback data path keeps device-cached host-homed lines hot, so a
+// dropped filter update corrupts state within the warmup window.
+func TestCXLMutationCaughtAcrossScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation sweep")
+	}
+	tested := 0
+	for seed := int64(1); seed <= 40 && tested < 5; seed++ {
+		sc := Generate(seed)
+		if sc.Iface != IfaceCCNIC || sc.Workload != "loopback" {
+			continue
+		}
+		sc.Protocol = "CXL"
+		tested++
+		t.Run(sc.String(), func(t *testing.T) {
+			t.Parallel()
+			out := sc.Run(coherence.MutateCXLSnoopDrop, 1<<12)
+			if len(out.Violations) == 0 {
+				t.Fatal("CXL snoop-drop mutation produced no violations")
+			}
+		})
+	}
+	if tested == 0 {
+		t.Fatal("no coherent loopback scenarios generated in 40 seeds")
+	}
+}

@@ -44,7 +44,9 @@ type result struct {
 	stall   sim.Time // wait for a prior in-flight store to commit
 }
 
-// accessLine performs the coherence protocol for a single line.
+// accessLine performs the UPI/MESIF coherence protocol for a single line —
+// the access method of the UPI backend (callers go through the protocol
+// interface; the CXL equivalent lives in cxl.go).
 // write selects RFO semantics; fullLine marks stores that overwrite the
 // entire line, which acquire ownership without fetching the stale data
 // (the ItoM / full-line-store optimization — data then crosses the
@@ -256,7 +258,8 @@ func (s *System) accessLine(a *Agent, line mem.Addr, write, quiet, fullLine bool
 
 // commitRead applies a demand read's state transition at completion time,
 // based on the directory's state at that moment (the line may have moved
-// while the fetch was in flight; the resolution is defensive).
+// while the fetch was in flight; the resolution is defensive). It is the
+// UPI backend's commitRead method.
 func (s *System) commitRead(a *Agent, line mem.Addr) {
 	if a.l2.peek(line) != nil {
 		return // already resident (raced with another fill)
@@ -393,7 +396,7 @@ func (a *Agent) WriteAsync(p *sim.Proc, addr mem.Addr, size int) (visibleAt sim.
 	visibleAt = p.Now()
 	mem.Lines(addr, size, func(line mem.Addr) {
 		full := line >= addr && line+mem.LineSize <= addr+mem.Addr(size)
-		r := a.sys.accessLine(a, line, true, false, full)
+		r := a.sys.proto.access(a, line, true, false, full)
 		// The store buffer hides the transfer latency but not the wait
 		// behind earlier in-flight stores to the same line: a backed-up
 		// line fills the buffer and throttles the core.
@@ -423,7 +426,7 @@ func (a *Agent) SoftPrefetch(addr mem.Addr) {
 	if a.l2.peek(line) != nil {
 		return
 	}
-	a.sys.accessLine(a, line, false, true, false)
+	a.sys.proto.access(a, line, false, true, false)
 }
 
 // Poll performs a load that does not train the hardware prefetcher —
@@ -453,11 +456,11 @@ func (a *Agent) serialAccess(p *sim.Proc, addr mem.Addr, size int, write, train 
 	total := sim.Time(0)
 	mem.Lines(addr, size, func(line mem.Addr) {
 		full := write && line >= addr && line+mem.LineSize <= addr+mem.Addr(size)
-		r := a.sys.accessLine(a, line, write, false, full)
+		r := a.sys.proto.access(a, line, write, false, full)
 		total += r.lat
 		p.Sleep(r.lat)
 		if !write {
-			a.sys.commitRead(a, line)
+			a.sys.proto.commitRead(a, line)
 		}
 		if train {
 			a.trainPrefetch(line, write)
@@ -489,7 +492,7 @@ func (a *Agent) stream(p *sim.Proc, addr mem.Addr, size int, write bool) sim.Tim
 	firstLine := mem.LineOf(addr)
 	mem.Lines(addr, size, func(line mem.Addr) {
 		full := write && line >= addr && line+mem.LineSize <= addr+mem.Addr(size)
-		r := a.sys.accessLine(a, line, write, false, full)
+		r := a.sys.proto.access(a, line, write, false, full)
 		var cost sim.Time
 		if first {
 			cost = r.lat
@@ -504,7 +507,7 @@ func (a *Agent) stream(p *sim.Proc, addr mem.Addr, size int, write bool) sim.Tim
 		total += cost
 		p.Sleep(cost)
 		if !write {
-			a.sys.commitRead(a, line)
+			a.sys.proto.commitRead(a, line)
 		}
 	})
 	// Train the prefetcher on the stream's start so buffer-to-buffer
@@ -529,7 +532,7 @@ func (a *Agent) gather(p *sim.Proc, lines []mem.Addr, write bool) sim.Time {
 	a.pressure(p)
 	total := sim.Time(0)
 	for i, line := range lines {
-		r := a.sys.accessLine(a, line, write, false, write)
+		r := a.sys.proto.access(a, line, write, false, write)
 		var cost sim.Time
 		if i == 0 {
 			cost = r.lat
@@ -543,7 +546,7 @@ func (a *Agent) gather(p *sim.Proc, lines []mem.Addr, write bool) sim.Time {
 		total += cost
 		p.Sleep(cost)
 		if !write {
-			a.sys.commitRead(a, line)
+			a.sys.proto.commitRead(a, line)
 		}
 	}
 	return total
@@ -647,7 +650,7 @@ func (a *Agent) trainPrefetch(line mem.Addr, write bool) {
 				for k := int64(1); k <= prefetchDegree; k++ {
 					target := mem.Addr(int64(line) + k*cur)
 					if mem.Home(target) == mem.Home(line) && a.l2.peek(target) == nil {
-						s.accessLine(a, mem.LineOf(target), write, true, false)
+						s.proto.access(a, mem.LineOf(target), write, true, false)
 					}
 				}
 			}

@@ -84,7 +84,19 @@ const (
 	// MutateStaleMigration breaks migratory dirty forwarding: a demand
 	// read migrates ownership without invalidating the previous owner,
 	// leaving a stale Modified copy the directory does not know about.
+	// UPI backend only (CXL has no migratory forwarding).
 	MutateStaleMigration
+	// MutateCXLSnoopDrop breaks the CXL host-managed snoop filter: a
+	// device-side fill or upgrade of a host-homed line is never recorded,
+	// so the host — which consults the filter, not the directory, to
+	// decide whether to snoop across the link — later skips invalidating
+	// the device's copy, leaving stale state behind. CXL backend only.
+	MutateCXLSnoopDrop
+	// MutateCXLBiasLeak breaks CXL bias management: a device reclaim of a
+	// host-bias HDM line flips the bias without flushing host-side copies
+	// — the directory forgets them while the host caches keep stale
+	// lines, which the engine's full scan reports. CXL backend only.
+	MutateCXLBiasLeak
 )
 
 // SetMutation arms a deliberate protocol defect (self-tests only).
@@ -111,7 +123,7 @@ func (s *System) CorruptSharerSetForTest(line mem.Addr) bool {
 func (s *System) CheckLine(line mem.Addr) error {
 	d := s.lookup(line)
 	if d == nil {
-		return nil
+		return s.proto.checkLine(line)
 	}
 	if d.owner != nil {
 		if len(d.sharers) > 0 {
@@ -127,7 +139,7 @@ func (s *System) CheckLine(line mem.Addr) error {
 			return fmt.Errorf("line %#x: owner %s holds it %v, want M",
 				line, d.owner.name, e.state)
 		}
-		return nil
+		return s.proto.checkLine(line)
 	}
 	for i, c := range d.sharers {
 		for _, prev := range d.sharers[:i] {
@@ -145,5 +157,5 @@ func (s *System) CheckLine(line mem.Addr) error {
 				line, c.name, e.state)
 		}
 	}
-	return nil
+	return s.proto.checkLine(line)
 }

@@ -1,0 +1,124 @@
+package coherence
+
+import (
+	"fmt"
+	"strings"
+
+	"ccnic/internal/interconn"
+	"ccnic/internal/mem"
+	"ccnic/internal/platform"
+	"ccnic/internal/sim"
+)
+
+// Protocol identifies a coherent-interconnect protocol backend. The backend
+// decides how an access resolves (who is snooped, where data comes from, what
+// it costs) and what protocol-private state exists beside the directory; the
+// shared System owns the caches, the directory, the link, and the counters.
+type Protocol uint8
+
+// The implemented protocols.
+const (
+	// ProtoUPI is the paper's symmetric UPI/MESIF protocol: either socket
+	// caches any line, with migratory dirty forwarding and speculative
+	// home reads (the default — all existing results run on it).
+	ProtoUPI Protocol = iota
+	// ProtoCXL is the asymmetric CXL.cache/CXL.mem protocol: the device
+	// caches host memory through CXL.cache behind a host-managed snoop
+	// filter, the host reaches device HDM through CXL.mem, and
+	// device-homed lines carry a bias state (device bias lines are
+	// accessed without host interaction).
+	ProtoCXL
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtoUPI:
+		return "UPI"
+	case ProtoCXL:
+		return "CXL"
+	}
+	return fmt.Sprintf("Protocol(%d)", uint8(p))
+}
+
+// ParseProtocol resolves a protocol name ("upi", "cxl", case-insensitive; ""
+// selects the default UPI backend).
+func ParseProtocol(name string) (Protocol, error) {
+	switch strings.ToLower(name) {
+	case "", "upi":
+		return ProtoUPI, nil
+	case "cxl":
+		return ProtoCXL, nil
+	}
+	return 0, fmt.Errorf("coherence: unknown protocol %q (want UPI or CXL)", name)
+}
+
+// backend is the protocol engine behind a System. Both implementations live
+// in this package: they share the caches, directory, link, and counters, and
+// differ in transition rules, latency/bandwidth points, and protocol-private
+// state (the CXL backend's snoop filter and bias map).
+type backend interface {
+	// protocol identifies the backend.
+	protocol() Protocol
+	// access performs the protocol for one line at issue time (see
+	// System.accessLine for the contract; demand reads mutate state at
+	// commitRead, writes and prefetches at issue).
+	access(a *Agent, line mem.Addr, write, quiet, fullLine bool) result
+	// commitRead applies a demand read's state transition at completion.
+	commitRead(a *Agent, line mem.Addr)
+	// residencyChanged notifies the backend that a shared residency path
+	// (eviction, flush/NT drop, PCIe DMA side effect) mutated the line's
+	// holders, so protocol-private state can follow.
+	residencyChanged(line mem.Addr)
+	// checkLine extends CheckLine with protocol-private per-line checks.
+	checkLine(line mem.Addr) error
+	// checkSystem extends CheckInvariants with protocol-private scans.
+	checkSystem() error
+}
+
+// upiBackend is the paper's symmetric UPI/MESIF protocol. Its transition and
+// timing logic predates the protocol interface and lives on System
+// (accessLine, commitRead); the backend has no private state, so the shared
+// directory checks are complete for it.
+type upiBackend struct{ s *System }
+
+func (b upiBackend) protocol() Protocol { return ProtoUPI }
+
+func (b upiBackend) access(a *Agent, line mem.Addr, write, quiet, fullLine bool) result {
+	return b.s.accessLine(a, line, write, quiet, fullLine)
+}
+
+func (b upiBackend) commitRead(a *Agent, line mem.Addr) { b.s.commitRead(a, line) }
+
+func (b upiBackend) residencyChanged(mem.Addr) {}
+
+func (b upiBackend) checkLine(mem.Addr) error { return nil }
+
+func (b upiBackend) checkSystem() error { return nil }
+
+// linkProfile builds the interconnect profile for a protocol on a platform.
+// UPI provisions the wire to carry the calibrated data bandwidth plus
+// per-flit protocol bytes; CXL does the same over its single x16 phy and
+// thinner 68-byte flits.
+func linkProfile(plat *platform.Platform, pr Protocol) interconn.Profile {
+	switch pr {
+	case ProtoCXL:
+		cx := &plat.CXL
+		wire := cx.LinkBandwidth * float64(mem.LineSize+cx.FlitHeader) / float64(mem.LineSize)
+		return interconn.Profile{Name: "CXL", WireBW: wire, Header: cx.FlitHeader, CtrlMsg: cx.CtrlMsg}
+	default:
+		wire := plat.UPIBandwidth * float64(mem.LineSize+plat.UPIHeader) / float64(mem.LineSize)
+		return interconn.Profile{Name: "UPI", WireBW: wire, Header: plat.UPIHeader, CtrlMsg: plat.UPICtrlMsg}
+	}
+}
+
+// Protocol returns the system's coherence protocol.
+func (s *System) Protocol() Protocol { return s.proto.protocol() }
+
+// pendingStall returns how long a requester arriving now must wait behind an
+// in-flight ownership-acquiring store to the line (shared by both backends).
+func (d *dirEntry) pendingStall(now sim.Time) sim.Time {
+	if d.pendingUntil > now {
+		return d.pendingUntil - now
+	}
+	return 0
+}

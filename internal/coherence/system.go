@@ -15,10 +15,11 @@ import (
 type Counters struct {
 	RemoteRead  int64 // demand reads served across the interconnect
 	RemoteRFO   int64 // reads-for-ownership / upgrades crossing the interconnect
-	SpecMemRead int64 // speculative home-memory reads (reader-homed penalty)
+	SpecMemRead int64 // speculative home-memory reads (reader-homed penalty; UPI only)
 	RemoteNT    int64 // nontemporal stores crossing the interconnect
 	Prefetches  int64 // hardware prefetch fills issued
 	Writebacks  int64 // dirty evictions written back across the interconnect
+	BiasFlips   int64 // device reclaims of host-bias HDM lines (CXL only)
 	// StallTime accumulates demand-access waits behind in-flight stores
 	// (diagnostic: where commit serialization bites).
 	StallTime sim.Time
@@ -58,6 +59,10 @@ type System struct {
 	plat  *platform.Platform
 	space *mem.Space
 	link  *interconn.Link
+	// proto is the protocol engine (UPI/MESIF or CXL.cache/CXL.mem); it
+	// owns transition rules and protocol-private state, while System owns
+	// caches, directory, link, and counters.
+	proto backend
 
 	llc      [2]*Cache
 	agents   [2][]*Agent
@@ -82,19 +87,30 @@ type System struct {
 }
 
 // NewSystem builds a coherent memory system for the given platform on the
-// given kernel. Hardware prefetching starts disabled on both sockets (the
-// experiments enable it explicitly, as the paper does).
+// given kernel, running the default UPI protocol. Hardware prefetching starts
+// disabled on both sockets (the experiments enable it explicitly, as the
+// paper does).
 func NewSystem(k *sim.Kernel, plat *platform.Platform) *System {
-	// UPIBandwidth is calibrated as *data* throughput (what mlc reports);
-	// provision the wire to carry that data plus per-flit protocol bytes.
-	wire := plat.UPIBandwidth * float64(mem.LineSize+plat.UPIHeader) / float64(mem.LineSize)
+	return NewSystemProto(k, plat, ProtoUPI)
+}
+
+// NewSystemProto builds a coherent memory system running the given protocol
+// backend. The interconnect link is provisioned from the protocol's
+// bandwidth/flit parameters on the platform.
+func NewSystemProto(k *sim.Kernel, plat *platform.Platform, pr Protocol) *System {
 	s := &System{
 		k:     k,
 		plat:  plat,
 		space: mem.NewSpace(),
-		link:  interconn.New(wire, plat.UPIHeader, plat.UPICtrlMsg),
+		link:  interconn.NewWithProfile(linkProfile(plat, pr)),
 
 		ntLineCost: sim.Time(float64(mem.LineSize) / plat.PCIe.NTStoreBW * float64(sim.Nanosecond)),
+	}
+	switch pr {
+	case ProtoCXL:
+		s.proto = newCXLBackend(s)
+	default:
+		s.proto = upiBackend{s}
 	}
 	for i := 0; i < 2; i++ {
 		s.llc[i] = newCache(s, fmt.Sprintf("llc%d", i), i, plat.LLCBytes, true)
@@ -114,7 +130,8 @@ func (s *System) Platform() *platform.Platform { return s.plat }
 // Space returns the machine's address space allocator.
 func (s *System) Space() *mem.Space { return s.space }
 
-// Link returns the UPI link model.
+// Link returns the coherent-interconnect link model; its Label reports the
+// protocol it carries ("UPI", "CXL").
 func (s *System) Link() *interconn.Link { return s.link }
 
 // SetFaults arms (or, with nil, disarms) the fault injector on this
@@ -260,6 +277,7 @@ func (s *System) evicted(c *Cache, line mem.Addr, st State) {
 			d.removeSharer(c)
 		}
 		s.gc(line, d)
+		s.proto.residencyChanged(line)
 		return
 	}
 	// L2 victim: hand to the socket LLC, preserving dirtiness.
@@ -270,11 +288,13 @@ func (s *System) evicted(c *Cache, line mem.Addr, st State) {
 		d.removeSharer(c)
 		if d.holds(llc) || d.owner == llc {
 			llc.touch(line, st) // refresh recency only
+			s.proto.residencyChanged(line)
 			return
 		}
 		d.sharers = append(d.sharers, llc)
 	}
 	llc.insertMiss(line, st)
+	s.proto.residencyChanged(line)
 }
 
 //ccnic:noalloc
@@ -308,6 +328,7 @@ func (s *System) dropEverywhere(line mem.Addr, sock int) bool {
 	}
 	d.sharers = d.sharers[:0]
 	s.gc(line, d)
+	s.proto.residencyChanged(line)
 	s.lineEvent(line)
 	return remote
 }
@@ -323,6 +344,7 @@ func (s *System) DeviceWriteLine(line mem.Addr, socket int) {
 	llc := s.llc[socket]
 	d.owner = llc
 	llc.insertMiss(line, Modified)
+	s.proto.residencyChanged(line)
 	s.lineEvent(line)
 }
 
@@ -338,6 +360,7 @@ func (s *System) DeviceReadLine(line mem.Addr) {
 	owner.touch(line, Shared)
 	d.owner = nil
 	d.sharers = append(d.sharers, owner)
+	s.proto.residencyChanged(line)
 	s.lineEvent(line)
 }
 
@@ -421,5 +444,7 @@ func (s *System) CheckInvariants() error {
 	if total != len(claimed) {
 		return fmt.Errorf("directory claims %d residencies, caches hold %d", len(claimed), total)
 	}
-	return nil
+	// Protocol-private state (the CXL backend's snoop filter and bias map)
+	// must agree with the directory too.
+	return s.proto.checkSystem()
 }

@@ -16,6 +16,8 @@ func TestRegistryComplete(t *testing.T) {
 		"ext-cxl", "ext-dsa", "ext-event", "ext-netfn",
 		// Fault-injection family (internal/fault).
 		"faults-rate", "faults-recovery",
+		// Cross-protocol design-space sweep (CXL backend).
+		"proto-sweep",
 	}
 	for _, id := range want {
 		e := ByID(id)

@@ -20,9 +20,22 @@ const (
 	ToHost Direction = 1 // NIC socket -> host socket
 )
 
+// Profile names a link's protocol personality: the label it reports under
+// and its flit geometry. The coherence layer builds one per protocol backend
+// (UPI's 80-byte flits over a multi-link mesh, CXL's 68-byte flits over a
+// single x16 phy); the link itself is protocol-agnostic — a full-duplex pipe
+// with finite per-direction bandwidth.
+type Profile struct {
+	Name    string  // protocol label ("UPI", "CXL") for reports and stats
+	WireBW  float64 // wire bytes per ns per direction (data plus per-flit header)
+	Header  int     // protocol overhead bytes accompanying each data flit
+	CtrlMsg int     // wire bytes of a dataless protocol message
+}
+
 // Link is a full-duplex interconnect link. It is not safe for concurrent
 // use; all callers run under the simulation kernel, which serializes them.
 type Link struct {
+	profile    Profile
 	bytesPerNs float64 // per-direction effective data bandwidth
 	header     int     // protocol overhead accompanying each data flit
 	ctrlMsg    int     // size of a dataless protocol message
@@ -46,14 +59,26 @@ type Stats struct {
 	Messages  [2]int64 // total messages per direction
 }
 
-// New creates a link with the given per-direction bandwidth (bytes/ns),
-// per-flit header overhead, and control-message size.
+// New creates a UPI-labeled link with the given per-direction bandwidth
+// (bytes/ns), per-flit header overhead, and control-message size. It is the
+// historical constructor; NewWithProfile is the general one.
 func New(bytesPerNs float64, header, ctrlMsg int) *Link {
-	if bytesPerNs <= 0 {
+	return NewWithProfile(Profile{Name: "UPI", WireBW: bytesPerNs, Header: header, CtrlMsg: ctrlMsg})
+}
+
+// NewWithProfile creates a link from a protocol profile.
+func NewWithProfile(pr Profile) *Link {
+	if pr.WireBW <= 0 {
 		panic("interconn: bandwidth must be positive")
 	}
-	return &Link{bytesPerNs: bytesPerNs, header: header, ctrlMsg: ctrlMsg}
+	return &Link{profile: pr, bytesPerNs: pr.WireBW, header: pr.Header, ctrlMsg: pr.CtrlMsg}
 }
+
+// Profile returns the link's protocol profile.
+func (l *Link) Profile() Profile { return l.profile }
+
+// Label returns the protocol label the link reports under ("UPI", "CXL").
+func (l *Link) Label() string { return l.profile.Name }
 
 // Bandwidth returns the per-direction bandwidth in bytes per nanosecond.
 func (l *Link) Bandwidth() float64 { return l.bytesPerNs }

@@ -57,9 +57,38 @@ type Platform struct {
 
 	PCIe PCIeParams
 
+	// CXL is the CXL.cache/CXL.mem attach point used when the coherent
+	// interconnect runs the CXL protocol backend instead of UPI (see
+	// internal/coherence's protocol interface). The parameters coexist
+	// with the UPI ones: a platform describes the machine, the protocol
+	// selection decides which set the interconnect is built from.
+	CXL CXLParams
+
 	// Derating knobs for the Fig 21 sensitivity study; 1.0 = nominal.
 	UncoreLatScale float64
 	UncoreBWScale  float64
+}
+
+// CXLParams describes a CXL x16 attach point between the host socket and the
+// device. Latencies follow the CXL Consortium's published 170-250ns expected
+// access range and the calibration points of Cohet and "A Novel Extensible
+// Simulation Framework for CXL-Enabled Systems"; bandwidth is a single x16
+// link at the platform's PCIe-generation signaling rate, carried in 68-byte
+// flits (64B data + 4B header/CRC) — a much thinner pipe than a multi-link
+// UPI mesh, which is exactly the trade the proto-sweep experiment measures.
+type CXLParams struct {
+	MemRead  sim.Time // cross-link read served from far DRAM (CXL.mem, or a CXL.cache miss to host DRAM)
+	CacheFwd sim.Time // cross-link read served out of a far cache (host-side hit for a device request)
+	Snoop    sim.Time // host snoop of the device cache (H2D crossing for a host-homed line)
+	Inval    sim.Time // invalidate-only crossing (ownership grant, no data payload)
+	BiasFlip sim.Time // device reclaim of a host-bias HDM line (roundtrip through the host)
+
+	LinkBandwidth float64 // effective data bytes/ns per direction
+	FlitHeader    int     // protocol bytes accompanying each 64B data flit (68B flit => 4)
+	CtrlMsg       int     // wire bytes of a dataless protocol message
+
+	RawGBs float64 // raw signaling bandwidth, for reporting
+	GTs    float64 // transfer rate, for reporting
 }
 
 // PCIeParams describes the host PCIe 4.0 x16 slot shared by both NICs.
@@ -119,6 +148,20 @@ func ICX() *Platform {
 			WBStoreBW:     12.5,
 		},
 
+		// CXL 1.1/2.0 over the PCIe 4.0 x16 phy: 16 GT/s signaling.
+		CXL: CXLParams{
+			MemRead:       250 * sim.Nanosecond,
+			CacheFwd:      220 * sim.Nanosecond,
+			Snoop:         180 * sim.Nanosecond,
+			Inval:         160 * sim.Nanosecond,
+			BiasFlip:      300 * sim.Nanosecond,
+			LinkBandwidth: 31.5,
+			FlitHeader:    4,
+			CtrlMsg:       16,
+			RawGBs:        31.5,
+			GTs:           16,
+		},
+
 		UncoreLatScale: 1.0,
 		UncoreBWScale:  1.0,
 	}
@@ -167,6 +210,22 @@ func SPR() *Platform {
 			WCFlushDRAM:   70 * sim.Nanosecond,
 			NTStoreBW:     14.0,
 			WBStoreBW:     15.0,
+		},
+
+		// CXL 2.0 over the PCIe 5.0 x16 phy: 32 GT/s signaling. MemRead
+		// sits at the midpoint of the consortium's expected access range
+		// (and matches the CXL() projected platform's derate factor).
+		CXL: CXLParams{
+			MemRead:       211 * sim.Nanosecond,
+			CacheFwd:      185 * sim.Nanosecond,
+			Snoop:         150 * sim.Nanosecond,
+			Inval:         135 * sim.Nanosecond,
+			BiasFlip:      250 * sim.Nanosecond,
+			LinkBandwidth: 63.0,
+			FlitHeader:    4,
+			CtrlMsg:       16,
+			RawGBs:        63.0,
+			GTs:           32,
 		},
 
 		UncoreLatScale: 1.0,
@@ -224,6 +283,14 @@ func (p *Platform) Derate(latScale, bwScale float64) *Platform {
 	q.LocalDRAM = scale(p.LocalDRAM, half)
 	q.UPIBandwidth = p.UPIBandwidth * bwScale
 	q.RemoteStreamBW = p.RemoteStreamBW * bwScale
+	// The CXL attach point scales like the other cross-socket paths, so
+	// sensitivity sweeps derate both protocol backends coherently.
+	q.CXL.MemRead = scale(p.CXL.MemRead, latScale)
+	q.CXL.CacheFwd = scale(p.CXL.CacheFwd, latScale)
+	q.CXL.Snoop = scale(p.CXL.Snoop, latScale)
+	q.CXL.Inval = scale(p.CXL.Inval, latScale)
+	q.CXL.BiasFlip = scale(p.CXL.BiasFlip, latScale)
+	q.CXL.LinkBandwidth = p.CXL.LinkBandwidth * bwScale
 	q.UncoreLatScale = latScale
 	q.UncoreBWScale = bwScale
 	return &q
