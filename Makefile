@@ -3,7 +3,9 @@
 #   make check        tier-1 verify + lint + vet + race (sim) + benchmark smoke
 #   make verify       tier-1: go build ./... && go test ./...
 #   make lint         cclint static-analysis suite (detlint, yieldlint,
-#                     probelint, alloclint) over every module package
+#                     probelint, alloclint, shardlint, ownlint, timelint,
+#                     exhaustlint) over every module package
+#   make lint-json    same run, findings as cclint.json (the CI artifact)
 #   make race         race detector over the packages with real goroutines
 #                     (kernel, parallel shard engine, cluster model)
 #   make bench-smoke  one-iteration pass over the kernel + headline benches,
@@ -26,7 +28,7 @@
 
 GO ?= go
 
-.PHONY: check verify lint vet race bench-smoke faults protocols bench-json golden-check golden-shards golden
+.PHONY: check verify lint lint-json vet race bench-smoke faults protocols bench-json golden-check golden-shards golden
 
 check: verify lint vet race bench-smoke faults protocols golden-check
 
@@ -35,9 +37,16 @@ verify:
 	$(GO) test ./...
 
 # Static enforcement of the simulator invariants (DESIGN.md §5): exits
-# nonzero on any determinism, yield-safety, probe-guard, or noalloc finding.
+# nonzero on any determinism, yield-safety, probe-guard, noalloc,
+# shard-boundary, buffer-ownership, sim-time, or enum-coverage finding.
+# Warm runs reuse the loader's on-disk go-list cache (.lintcache/).
 lint:
 	$(GO) run ./cmd/cclint ./...
+
+# The same findings as a machine-readable artifact. The exit status still
+# reflects the findings, so CI can upload the file and fail the job.
+lint-json:
+	$(GO) run ./cmd/cclint -json ./... > cclint.json
 
 vet:
 	$(GO) vet ./...

@@ -1,18 +1,23 @@
 // Command cclint is the repository's static-analysis multichecker. It runs
-// the internal/lint suite — detlint, yieldlint, probelint, alloclint — over
-// the module packages and exits nonzero on any finding, so `make lint` and
-// CI enforce the simulator's determinism, yield-safety, probe-guard, and
-// zero-allocation invariants at compile time.
+// the internal/lint suite — detlint, yieldlint, probelint, alloclint,
+// shardlint, ownlint, timelint, exhaustlint — over the module packages and
+// exits nonzero on any finding, so `make lint` and CI enforce the
+// simulator's determinism, yield-safety, probe-guard, zero-allocation,
+// shard-boundary, buffer-ownership, sim-time, and enum-coverage invariants
+// at compile time.
 //
 // Usage:
 //
-//	cclint [-only name[,name]] [packages]
+//	cclint [-only name[,name]] [-json] [packages]
 //
 // Packages default to ./... resolved from the current directory. -only
-// restricts the run to a comma-separated subset of analyzers.
+// restricts the run to a comma-separated subset of analyzers. -json prints
+// the findings as a JSON array (CI uploads it as the lint artifact) instead
+// of the line-per-finding text form; the exit status is the same either way.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +28,7 @@ import (
 
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer subset (default: all)")
+	asJSON := flag.Bool("json", false, "print findings as a JSON array")
 	verbose := flag.Bool("v", false, "list analyzers and package count")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: cclint [flags] [packages]\n\nAnalyzers:\n")
@@ -71,11 +77,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cclint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		// Always an array (never null), so consumers can index the artifact
+		// without a presence check.
+		jd := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			jd = append(jd, jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jd); err != nil {
+			fmt.Fprintln(os.Stderr, "cclint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "cclint: %d findings\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the -json wire form of one finding: stable lowercase field
+// names, position split out so consumers need no string parsing.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }

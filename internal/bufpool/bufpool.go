@@ -334,9 +334,11 @@ func max(a, b int) int {
 
 // Alloc allocates one buffer large enough for size payload bytes, charging
 // the calling process for the memory operations involved. It returns nil if
-// the pool is exhausted.
+// the pool is exhausted. The caller owns the result: ownlint requires it be
+// released or transferred exactly once on every path.
 //
 //ccnic:noalloc
+//ccnic:owns
 func (pt *Port) Alloc(p *sim.Proc, size int) *Buf {
 	pl := pt.pool
 	small := pl.cfg.SmallBufs && size <= SmallSize
@@ -363,6 +365,8 @@ func (pt *Port) Alloc(p *sim.Proc, size int) *Buf {
 // centralAlloc pops one buffer (plus a refill batch when recycling) from
 // the port's shard, claiming seed buffers or stealing from the richest
 // other shard when dry.
+//
+//ccnic:owns
 func (pt *Port) centralAlloc(p *sim.Proc, small bool) *Buf {
 	pl := pt.pool
 	list := &pt.shardBig
@@ -475,9 +479,13 @@ func (pt *Port) steal(p *sim.Proc, small bool) bool {
 	return true
 }
 
-// take transitions a buffer to allocated, enforcing single-allocation.
+// take transitions a buffer to allocated, enforcing single-allocation: it
+// consumes the raw popped buffer and hands back the same buffer as an owned
+// allocation.
 //
 //ccnic:noalloc
+//ccnic:transfer
+//ccnic:owns
 func (pl *Pool) take(b *Buf) *Buf {
 	if b.state != stateFree {
 		panic(fmt.Sprintf("bufpool: double allocation of buffer %#x", b.Addr))
@@ -503,9 +511,11 @@ func (pt *Port) AllocBurst(p *sim.Proc, size int, out []*Buf) int {
 }
 
 // Free returns a buffer to the port's recycling stack (spilling half the
-// stack to the central pool when full) or directly to the central pool.
+// stack to the central pool when full) or directly to the central pool. It
+// consumes the buffer: the caller's ownership ends here.
 //
 //ccnic:noalloc
+//ccnic:transfer
 func (pt *Port) Free(p *sim.Proc, b *Buf) {
 	pl := pt.pool
 	if b.pool != pl {
@@ -536,7 +546,9 @@ func (pt *Port) Free(p *sim.Proc, b *Buf) {
 	pl.notify()
 }
 
-// FreeBurst frees a batch of buffers.
+// FreeBurst frees a batch of buffers, consuming them.
+//
+//ccnic:transfer
 func (pt *Port) FreeBurst(p *sim.Proc, bufs []*Buf) {
 	for _, b := range bufs {
 		pt.Free(p, b)

@@ -105,6 +105,7 @@ func linkProfile(plat *platform.Platform, pr Protocol) interconn.Profile {
 		cx := &plat.CXL
 		wire := cx.LinkBandwidth * float64(mem.LineSize+cx.FlitHeader) / float64(mem.LineSize)
 		return interconn.Profile{Name: "CXL", WireBW: wire, Header: cx.FlitHeader, CtrlMsg: cx.CtrlMsg}
+	//ccnic:default-ok UPI is the baseline profile; an unknown protocol must still produce finite link numbers
 	default:
 		wire := plat.UPIBandwidth * float64(mem.LineSize+plat.UPIHeader) / float64(mem.LineSize)
 		return interconn.Profile{Name: "UPI", WireBW: wire, Header: plat.UPIHeader, CtrlMsg: plat.UPICtrlMsg}

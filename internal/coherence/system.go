@@ -109,6 +109,7 @@ func NewSystemProto(k *sim.Kernel, plat *platform.Platform, pr Protocol) *System
 	switch pr {
 	case ProtoCXL:
 		s.proto = newCXLBackend(s)
+	//ccnic:default-ok UPI is the baseline backend; construction must never leave proto nil
 	default:
 		s.proto = upiBackend{s}
 	}

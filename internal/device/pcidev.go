@@ -365,7 +365,9 @@ func (q *pcieQueue) ringRxDoorbell(p *sim.Proc) {
 }
 
 // Release implements Queue: return consumed RX buffers to the pool (ring
-// refill already happened in RxBurst).
+// refill already happened in RxBurst). Consumes the buffers.
+//
+//ccnic:transfer
 func (q *pcieQueue) Release(p *sim.Proc, bufs []*bufpool.Buf) {
 	driverOverhead(p, q.host, len(bufs), 0, 4*sim.Nanosecond)
 	q.hostPort.FreeBurst(p, bufs)

@@ -182,7 +182,9 @@ func (q *upiQueue) RxBurst(p *sim.Proc, out []*bufpool.Buf) int {
 }
 
 // Release implements Queue: buffers return to the pool; ring refill happens
-// in RxBurst.
+// in RxBurst. Consumes the buffers.
+//
+//ccnic:transfer
 func (q *upiQueue) Release(p *sim.Proc, bufs []*bufpool.Buf) {
 	q.hostPort.FreeBurst(p, bufs)
 }

@@ -149,7 +149,7 @@ func (q *upiQueue) regConsumeTx(p *sim.Proc) []pktMeta {
 		// free immediately and consumption is signaled via the head
 		// register.
 		for i := 0; i < avail; i++ {
-			r.Take(q.txSeen + i)
+			r.Take(q.txSeen + i) //ccnic:own-ok slot clear only: the buffer was captured via Get into pkts above
 			r.HeadIdx++
 		}
 		q.txSeen += avail

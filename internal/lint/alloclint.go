@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"ccnic/internal/lint/flow"
 )
 
 // Alloclint checks functions annotated //ccnic:noalloc — the hot paths whose
@@ -14,7 +16,10 @@ import (
 //   - append that can grow a different slice than it reads (the amortized
 //     self-append idiom `x = append(x, ...)` is allowed: it reuses warmed
 //     capacity in steady state),
-//   - function literals that capture variables (closure allocation),
+//   - function literals that capture variables and escape (closure
+//     allocation); a capturing literal that provably stays inside the
+//     function — invoked in place, or bound to a local used only in direct
+//     call position — is allocation-free and allowed (flow.EscapingFuncLits),
 //   - string concatenation and string<->[]byte/[]rune conversions,
 //   - interface boxing of non-pointer-shaped values (call arguments and
 //     assignments),
@@ -44,7 +49,12 @@ func runAlloclint(pass *Pass) error {
 			if !pass.Prog.FuncAnnotated(pass.Pkg, fd, AnnotNoalloc) {
 				continue
 			}
-			c := &allocChecker{pass: pass, fd: fd, selfAppends: map[*ast.CallExpr]bool{}}
+			c := &allocChecker{
+				pass:        pass,
+				fd:          fd,
+				selfAppends: map[*ast.CallExpr]bool{},
+				escapes:     flow.EscapingFuncLits(fd, pass.TypesInfo),
+			}
 			c.walk(fd.Body)
 		}
 	}
@@ -55,6 +65,7 @@ type allocChecker struct {
 	pass        *Pass
 	fd          *ast.FuncDecl
 	selfAppends map[*ast.CallExpr]bool
+	escapes     map[*ast.FuncLit]bool
 }
 
 func (c *allocChecker) report(pos token.Pos, format string, args ...any) {
@@ -257,8 +268,13 @@ func (c *allocChecker) checkStringConcat(b *ast.BinaryExpr) {
 }
 
 // checkCapture flags function literals that capture variables from the
-// enclosing function (captured closures allocate; static closures do not).
+// enclosing function AND escape it. A non-escaping literal keeps its
+// captures on the stack — the compiler proves the same via escape analysis —
+// so only the escaping-and-capturing combination allocates a closure.
 func (c *allocChecker) checkCapture(lit *ast.FuncLit) {
+	if !c.escapes[lit] {
+		return
+	}
 	info := c.pass.TypesInfo
 	done := false
 	ast.Inspect(lit.Body, func(n ast.Node) bool {

@@ -36,33 +36,63 @@ const (
 	// below): the package legitimately declares or drives a cross-shard
 	// link boundary (see internal/sim/shard).
 	AnnotShardBoundary = "shard-boundary"
+	// AnnotOwns marks a function that returns an owned bufpool buffer:
+	// ownlint requires every caller to release or transfer the result
+	// exactly once on every path. With the argument "raw"
+	// (`//ccnic:owns raw`) the returned buffer is additionally
+	// *unaccounted* — popped off a free structure but not yet transitioned
+	// to allocated — and must be transferred (typically into take) before
+	// any yielding call.
+	AnnotOwns = "owns"
+	// AnnotTransfer marks a function that takes ownership of its
+	// buffer-typed parameters (*Buf and []*Buf): passing a tracked buffer
+	// to it counts as the buffer's single release/transfer. Free and the
+	// ring handoff points carry it; ownlint also infers the same fact for
+	// unannotated functions that provably release a parameter on every
+	// path (see ownFacts).
+	AnnotTransfer = "transfer"
+	// AnnotOwnOK suppresses ownlint on its line (or the line below): an
+	// audited exception to the linear-ownership discipline, with a
+	// rationale.
+	AnnotOwnOK = "own-ok"
+	// AnnotTimeOK suppresses timelint on its line (or the line below): an
+	// audited exception to the sim-time discipline, with a rationale.
+	AnnotTimeOK = "time-ok"
+	// AnnotDefaultOK marks the default clause of a switch over a protocol
+	// or model enum as intentionally non-exhaustive, with a reason
+	// exhaustlint requires to be non-empty (`//ccnic:default-ok <why>`).
+	AnnotDefaultOK = "default-ok"
 )
 
 const annotPrefix = "//ccnic:"
 
-// annot is one parsed //ccnic: marker.
+// annot is one parsed //ccnic: marker: its key and the free-text argument
+// after it (a rationale for the suppression keys, a mode like "raw" for
+// AnnotOwns, a required reason for AnnotDefaultOK).
 type annot struct {
 	key  string
+	arg  string
 	pos  token.Pos
 	line int
 }
 
 // fileAnnots indexes one file's //ccnic: markers.
 type fileAnnots struct {
-	all    []annot        // in position order
-	byLine map[int][]string
+	all    []annot // in position order
+	byLine map[int][]annot
 }
 
-// parseAnnot splits a comment into its annotation key, if it is one.
-func parseAnnot(text string) (string, bool) {
+// parseAnnot splits a comment into its annotation key and argument, if it is
+// one.
+func parseAnnot(text string) (key, arg string, ok bool) {
 	if !strings.HasPrefix(text, annotPrefix) {
-		return "", false
+		return "", "", false
 	}
 	rest := text[len(annotPrefix):]
 	if i := strings.IndexAny(rest, " \t"); i >= 0 {
-		rest = rest[:i]
+		rest, arg = rest[:i], strings.TrimSpace(rest[i+1:])
 	}
-	return rest, rest != ""
+	return rest, arg, rest != ""
 }
 
 // fileAnnotsOf builds (once) the annotation index for f.
@@ -70,16 +100,17 @@ func (pr *Program) fileAnnotsOf(f *ast.File) *fileAnnots {
 	if fa, ok := pr.annots[f]; ok {
 		return fa
 	}
-	fa := &fileAnnots{byLine: map[int][]string{}}
+	fa := &fileAnnots{byLine: map[int][]annot{}}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			key, ok := parseAnnot(c.Text)
+			key, arg, ok := parseAnnot(c.Text)
 			if !ok {
 				continue
 			}
 			line := pr.Fset.Position(c.Pos()).Line
-			fa.all = append(fa.all, annot{key: key, pos: c.Pos(), line: line})
-			fa.byLine[line] = append(fa.byLine[line], key)
+			a := annot{key: key, arg: arg, pos: c.Pos(), line: line}
+			fa.all = append(fa.all, a)
+			fa.byLine[line] = append(fa.byLine[line], a)
 		}
 	}
 	pr.annots[f] = fa
@@ -99,33 +130,47 @@ func fileOf(pkg *Package, pos token.Pos) *ast.File {
 // Suppressed reports whether a //ccnic:<key> marker covers pos: on the same
 // source line (trailing comment) or on the line directly above it.
 func (pr *Program) Suppressed(pkg *Package, pos token.Pos, key string) bool {
+	_, ok := pr.AnnotArg(pkg, pos, key)
+	return ok
+}
+
+// AnnotArg returns the argument of the //ccnic:<key> marker covering pos (same
+// line or the line directly above), and whether one exists.
+func (pr *Program) AnnotArg(pkg *Package, pos token.Pos, key string) (string, bool) {
 	f := fileOf(pkg, pos)
 	if f == nil {
-		return false
+		return "", false
 	}
 	fa := pr.fileAnnotsOf(f)
 	line := pr.Fset.Position(pos).Line
 	for _, l := range []int{line, line - 1} {
-		for _, k := range fa.byLine[l] {
-			if k == key {
-				return true
+		for _, a := range fa.byLine[l] {
+			if a.key == key {
+				return a.arg, true
 			}
 		}
 	}
-	return false
+	return "", false
 }
 
 // FuncAnnotated reports whether fd carries //ccnic:<key> in its doc comment
 // or on the line directly above its declaration.
 func (pr *Program) FuncAnnotated(pkg *Package, fd *ast.FuncDecl, key string) bool {
+	_, ok := pr.FuncAnnotArg(pkg, fd, key)
+	return ok
+}
+
+// FuncAnnotArg returns the argument of fd's //ccnic:<key> annotation (doc
+// comment or the line above the declaration), and whether one exists.
+func (pr *Program) FuncAnnotArg(pkg *Package, fd *ast.FuncDecl, key string) (string, bool) {
 	if fd.Doc != nil {
 		for _, c := range fd.Doc.List {
-			if k, ok := parseAnnot(c.Text); ok && k == key {
-				return true
+			if k, arg, ok := parseAnnot(c.Text); ok && k == key {
+				return arg, true
 			}
 		}
 	}
-	return pr.Suppressed(pkg, fd.Pos(), key)
+	return pr.AnnotArg(pkg, fd.Pos(), key)
 }
 
 // posRange is a half-open source region [start, end).

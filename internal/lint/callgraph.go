@@ -21,21 +21,67 @@ var yieldRoots = map[string]bool{
 	"(*ccnic/internal/sim/shard.Engine).Run": true,
 }
 
+// CallGraph is the program's static call graph: for every declared function
+// or method, the statically-resolved callees of its body, plus the reverse
+// map. Calls through function values and interface methods are not resolved
+// (the classic limitation the //ccnic:yields annotation papers over);
+// function literals are attributed to their enclosing declaration, which
+// over-approximates closures that are defined but not called in place.
+// YieldSet's transitive closure and ownlint's interprocedural summaries
+// both walk this graph.
+type CallGraph struct {
+	Callees map[*types.Func][]*types.Func
+	Callers map[*types.Func][]*types.Func
+}
+
+// CallGraph builds (once) the static call graph of the loaded program.
+func (pr *Program) CallGraph() *CallGraph {
+	if pr.cg != nil {
+		return pr.cg
+	}
+	cg := &CallGraph{
+		Callees: map[*types.Func][]*types.Func{},
+		Callers: map[*types.Func][]*types.Func{},
+	}
+	for _, pkg := range pr.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := calleeOf(pkg.Info, call); callee != nil {
+						cg.Callees[fn] = append(cg.Callees[fn], callee)
+						cg.Callers[callee] = append(cg.Callers[callee], fn)
+					}
+					return true
+				})
+			}
+		}
+	}
+	pr.cg = cg
+	return cg
+}
+
 // YieldSet computes (once) the transitive set of yielding functions over the
 // loaded program's static call graph. Roots are yieldRoots plus any function
-// annotated //ccnic:yields. Calls through function values and interface
-// methods are not resolved (a stored callback that yields must be annotated
-// at its declaration); function literals are attributed to their enclosing
-// declaration, which over-approximates closures that are defined but not
-// called in place.
+// annotated //ccnic:yields; see CallGraph for the resolution limits.
 func (pr *Program) YieldSet() map[*types.Func]bool {
 	if pr.yields != nil {
 		return pr.yields
 	}
+	cg := pr.CallGraph()
 	yields := map[*types.Func]bool{}
-	callers := map[*types.Func][]*types.Func{}
 	var work []*types.Func
-
 	mark := func(fn *types.Func) {
 		if !yields[fn] {
 			yields[fn] = true
@@ -57,22 +103,13 @@ func (pr *Program) YieldSet() map[*types.Func]bool {
 				if yieldRoots[fn.FullName()] || pr.FuncAnnotated(pkg, fd, AnnotYields) {
 					mark(fn)
 				}
-				if fd.Body == nil {
-					continue
+				// Roots called but not declared in the module (none today,
+				// but the root set is configuration, not code).
+				for _, callee := range cg.Callees[fn] {
+					if yieldRoots[callee.FullName()] {
+						mark(callee)
+					}
 				}
-				ast.Inspect(fd.Body, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					if callee := calleeOf(pkg.Info, call); callee != nil {
-						callers[callee] = append(callers[callee], fn)
-						if yieldRoots[callee.FullName()] {
-							mark(callee)
-						}
-					}
-					return true
-				})
 			}
 		}
 	}
@@ -80,7 +117,7 @@ func (pr *Program) YieldSet() map[*types.Func]bool {
 	for len(work) > 0 {
 		fn := work[len(work)-1]
 		work = work[:len(work)-1]
-		for _, caller := range callers[fn] {
+		for _, caller := range cg.Callers[fn] {
 			mark(caller)
 		}
 	}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustlint requires switches over the model's enum types — coherence
+// states, CXL snoop-filter and bias states, ring layouts, fault classes,
+// trace stages — to either cover every declared constant or carry a default
+// clause annotated //ccnic:default-ok with a reason. A new enum constant
+// (say a fourth coherence state) must then fail the lint at every switch
+// that has not decided what to do with it, instead of silently falling
+// through (DESIGN.md §5).
+//
+// An enum type is a named in-module integer type with at least two
+// package-level constants in its defining package. Constants prefixed
+// num/Num are array-sizing sentinels (trace.numStages, fault.NumClasses),
+// not values, and are exempt from coverage. Switches with non-constant case
+// expressions are skipped: coverage cannot be decided statically.
+var Exhaustlint = &Analyzer{
+	Name: "exhaustlint",
+	Doc:  "require switches over model enum types to cover every constant or justify their default",
+	Run:  runExhaustlint,
+}
+
+func runExhaustlint(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	tagType := pass.TypesInfo.Types[sw.Tag].Type
+	enum, consts := enumConstants(pass.Prog, tagType)
+	if enum == nil || len(consts) < 2 {
+		return
+	}
+
+	covered := map[int64]bool{}
+	var defaultClause *ast.CaseClause
+	for _, cl := range sw.Body.List {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+				return // dynamic case: coverage is not statically decidable
+			}
+			if v, exact := constant.Int64Val(tv.Value); exact {
+				covered[v] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, c := range consts {
+		if v, exact := constant.Int64Val(c.Val()); exact && !covered[v] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	name := enum.Obj().Name()
+	if defaultClause == nil {
+		pass.Report(sw.Pos(), "switch over %s does not cover %s and has no default; add the missing cases or a default annotated //ccnic:default-ok <reason>",
+			name, strings.Join(missing, ", "))
+		return
+	}
+	if reason, ok := pass.Prog.AnnotArg(pass.Pkg, defaultClause.Pos(), AnnotDefaultOK); !ok || strings.TrimSpace(reason) == "" {
+		pass.Report(defaultClause.Pos(), "default clause hides missing %s cases %s; annotate it //ccnic:default-ok <reason> or cover them explicitly",
+			name, strings.Join(missing, ", "))
+	}
+}
+
+// enumConstants resolves t to an in-module enum type and its declared
+// constants (sentinels excluded), in declaration-value order.
+func enumConstants(prog *Program, t types.Type) (*types.Named, []*types.Const) {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil, nil
+	}
+	if b, ok := named.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+		return nil, nil
+	}
+	pkg := prog.PackageOf(named.Obj().Pkg().Path())
+	if pkg == nil {
+		return nil, nil // out-of-module type: not ours to police
+	}
+	scope := pkg.Types.Scope()
+	var consts []*types.Const
+	for _, name := range scope.Names() { // Names() is sorted: deterministic
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Type() != named {
+			continue
+		}
+		if strings.HasPrefix(name, "num") || strings.HasPrefix(name, "Num") {
+			continue // array-sizing sentinel, not an enum value
+		}
+		consts = append(consts, c)
+	}
+	sort.Slice(consts, func(i, j int) bool {
+		vi, _ := constant.Int64Val(consts[i].Val())
+		vj, _ := constant.Int64Val(consts[j].Val())
+		if vi != vj {
+			return vi < vj
+		}
+		return consts[i].Name() < consts[j].Name()
+	})
+	return named, consts
+}

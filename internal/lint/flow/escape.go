@@ -1,0 +1,177 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EscapingFuncLits classifies every function literal in fd: a literal whose
+// value never leaves the enclosing function does not force its captured
+// variables (or itself) onto the heap, so a capturing-but-non-escaping
+// closure is allocation-free in steady state. The compiler's own escape
+// analysis proves the same thing; this is the conservative syntactic
+// projection of it that alloclint can rely on:
+//
+//   - a literal invoked in place (`func() {...}()`), including as the call
+//     of a defer statement, does not escape;
+//   - a literal bound to a local variable whose every other use is a direct
+//     call (`f := func() {...}; ...; f()`) does not escape;
+//   - everything else — returned, passed as an argument, stored in a
+//     field/slice/map/channel/global, captured by another literal —
+//     escapes.
+//
+// The result maps each literal to true when it escapes.
+func EscapingFuncLits(fd *ast.FuncDecl, info *types.Info) map[*ast.FuncLit]bool {
+	esc := map[*ast.FuncLit]bool{}
+	if fd.Body == nil {
+		return esc
+	}
+	// First pass: find literals and their immediate context.
+	bound := map[*types.Var]*ast.FuncLit{} // local var -> literal bound to it
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			switch classifyLitContext(lit, stack, info) {
+			case litInvoked:
+				esc[lit] = false
+			case litBoundLocal:
+				esc[lit] = false // provisional; second pass checks the var's uses
+				if v := boundVar(lit, stack, info); v != nil {
+					bound[v] = lit
+				} else {
+					esc[lit] = true
+				}
+			//ccnic:default-ok litOther is the escaping catch-all by definition
+			default:
+				esc[lit] = true
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	if len(bound) == 0 {
+		return esc
+	}
+	// Second pass: a bound literal escapes if its variable is ever used
+	// outside direct-call position (reassignment of the variable to a new
+	// literal is fine; any other read leaks the function value).
+	callUses := map[*ast.Ident]bool{} // idents appearing as a call's function operand
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && bound[v] != nil {
+					callUses[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		lit := bound[v]
+		if lit == nil {
+			return true
+		}
+		if !callUses[id] {
+			esc[lit] = true
+		}
+		return true
+	})
+	return esc
+}
+
+type litContext uint8
+
+const (
+	litOther litContext = iota
+	litInvoked
+	litBoundLocal
+)
+
+// classifyLitContext inspects the literal's parent chain: called in place,
+// bound to a local variable, or anything else.
+func classifyLitContext(lit *ast.FuncLit, stack []ast.Node, info *types.Info) litContext {
+	parent := unparenParent(stack, lit)
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		if ast.Unparen(p.Fun) == lit {
+			return litInvoked // immediately invoked (incl. defer/go statements)
+		}
+	case *ast.AssignStmt:
+		if v := assignTargetVar(p, lit, info); v != nil {
+			return litBoundLocal
+		}
+	case *ast.ValueSpec:
+		if v := specTargetVar(p, lit, info); v != nil {
+			return litBoundLocal
+		}
+	}
+	return litOther
+}
+
+// unparenParent returns the nearest ancestor of lit that is not a
+// parenthesized expression.
+func unparenParent(stack []ast.Node, lit *ast.FuncLit) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// boundVar resolves the local variable a literal is assigned to.
+func boundVar(lit *ast.FuncLit, stack []ast.Node, info *types.Info) *types.Var {
+	switch p := unparenParent(stack, lit).(type) {
+	case *ast.AssignStmt:
+		return assignTargetVar(p, lit, info)
+	case *ast.ValueSpec:
+		return specTargetVar(p, lit, info)
+	}
+	return nil
+}
+
+// assignTargetVar finds the variable lit is assigned to in as, if the
+// target is a plain local identifier.
+func assignTargetVar(as *ast.AssignStmt, lit *ast.FuncLit, info *types.Info) *types.Var {
+	for i, rhs := range as.Rhs {
+		if ast.Unparen(rhs) != lit || i >= len(as.Lhs) {
+			continue
+		}
+		if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				return v
+			}
+			if v, ok := info.Uses[id].(*types.Var); ok && !v.IsField() &&
+				v.Pkg() != nil && v.Parent() != v.Pkg().Scope() {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// specTargetVar is assignTargetVar for `var f = func() {...}` declarations.
+func specTargetVar(vs *ast.ValueSpec, lit *ast.FuncLit, info *types.Info) *types.Var {
+	for i, val := range vs.Values {
+		if ast.Unparen(val) != lit || i >= len(vs.Names) {
+			continue
+		}
+		if v, ok := info.Defs[vs.Names[i]].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

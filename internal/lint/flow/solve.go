@@ -1,0 +1,155 @@
+package flow
+
+// Direction selects which way facts propagate through the graph.
+type Direction uint8
+
+const (
+	// Forward propagates facts from Entry toward Exit.
+	Forward Direction = iota
+	// Backward propagates facts from Exit toward Entry (liveness-style).
+	Backward
+)
+
+// Problem describes one dataflow analysis over a Graph: a join semilattice
+// of abstract states S plus the transfer function. States must be treated
+// as immutable by Join/Transfer/Refine (return fresh values; the solver
+// caches and compares them).
+type Problem[S any] struct {
+	Dir Direction
+
+	// Bottom is the identity for Join: the state of an unreached block.
+	Bottom func() S
+	// Entry is the boundary state (at Entry for Forward, Exit for Backward).
+	Entry func() S
+	// Join combines states flowing in from multiple edges.
+	Join func(a, b S) S
+	// Equal decides convergence.
+	Equal func(a, b S) bool
+	// Transfer applies one block's effect to its input state. For Backward
+	// problems the block's nodes should be processed in reverse order.
+	Transfer func(b *Block, in S) S
+	// Refine, if non-nil, adjusts the state flowing across an edge
+	// (branch-condition refinement: EdgeTrue/EdgeFalse out of a block
+	// with Cond set). It sees the source block's output state.
+	Refine func(e *Edge, out S) S
+}
+
+// Solve runs the worklist algorithm to fixpoint and returns each block's
+// input state (its in-facts for Forward problems, its out-facts — the state
+// after the block in execution order — for Backward ones). Re-apply
+// Transfer to a block's input to recover the other side.
+func Solve[S any](g *Graph, p Problem[S]) map[*Block]S {
+	in := make(map[*Block]S, len(g.Blocks))
+	out := make(map[*Block]S, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		in[blk] = p.Bottom()
+		out[blk] = p.Bottom()
+	}
+	boundary := g.Entry
+	if p.Dir == Backward {
+		boundary = g.Exit
+	}
+	in[boundary] = p.Entry()
+
+	// Seed every block so unreachable-but-present code still gets a
+	// (bottom) state, then iterate in a stable order until convergence.
+	work := make([]*Block, 0, len(g.Blocks))
+	inWork := make(map[*Block]bool, len(g.Blocks))
+	push := func(blk *Block) {
+		if !inWork[blk] {
+			inWork[blk] = true
+			work = append(work, blk)
+		}
+	}
+	for _, blk := range order(g, p.Dir) {
+		push(blk)
+	}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk] = false
+
+		// Meet over incoming edges (respecting direction).
+		acc := p.Bottom()
+		if blk == boundary {
+			acc = p.Entry()
+		}
+		for _, e := range inEdges(blk, p.Dir) {
+			s := out[from(e, p.Dir)]
+			if p.Refine != nil {
+				s = p.Refine(e, s)
+			}
+			acc = p.Join(acc, s)
+		}
+		in[blk] = acc
+		next := p.Transfer(blk, acc)
+		if p.Equal(next, out[blk]) {
+			continue
+		}
+		out[blk] = next
+		for _, e := range outEdges(blk, p.Dir) {
+			push(to(e, p.Dir))
+		}
+	}
+	return in
+}
+
+// order returns blocks in (reverse) postorder along the solve direction so
+// the first sweep visits predecessors before successors where possible.
+func order(g *Graph, dir Direction) []*Block {
+	start := g.Entry
+	if dir == Backward {
+		start = g.Exit
+	}
+	seen := make(map[*Block]bool, len(g.Blocks))
+	var post []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, e := range outEdges(b, dir) {
+			visit(to(e, dir))
+		}
+		post = append(post, b)
+	}
+	visit(start)
+	// Unreachable blocks last, in index order, so they still get seeded.
+	for _, b := range g.Blocks {
+		visit(b)
+	}
+	rpo := make([]*Block, len(post))
+	for i, b := range post {
+		rpo[len(post)-1-i] = b
+	}
+	return rpo
+}
+
+func inEdges(b *Block, dir Direction) []*Edge {
+	if dir == Forward {
+		return b.Preds
+	}
+	return b.Succs
+}
+
+func outEdges(b *Block, dir Direction) []*Edge {
+	if dir == Forward {
+		return b.Succs
+	}
+	return b.Preds
+}
+
+func from(e *Edge, dir Direction) *Block {
+	if dir == Forward {
+		return e.From
+	}
+	return e.To
+}
+
+func to(e *Edge, dir Direction) *Block {
+	if dir == Forward {
+		return e.To
+	}
+	return e.From
+}

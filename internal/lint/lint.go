@@ -18,6 +18,18 @@
 //     declarations (shard.Engine.Connect) to the shard runtime and the
 //     topology-composition packages, keeping the parallel engine's
 //     lookahead contract auditable at compile time.
+//   - ownlint: a flow-sensitive linear-ownership check for bufpool buffers —
+//     acquired buffers released or transferred exactly once on every path,
+//     no use after release, no raw (unaccounted) buffer held across a yield.
+//   - timelint: the sim.Time discipline — no wall-clock mixing outside
+//     internal/platform, no bare-literal durations, no stale-timestamp
+//     equality across yields.
+//   - exhaustlint: switches over model enum types must cover every constant
+//     or justify their default clause.
+//
+// ownlint, timelint, and alloclint's capture check are built on the
+// dataflow engine in internal/lint/flow: per-function CFGs, a generic
+// forward/backward worklist solver, and escape facts for function literals.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API surface
 // (Analyzer, Pass, Diagnostic) but is self-contained: the environment this
@@ -81,7 +93,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Detlint, Yieldlint, Probelint, Alloclint, Shardlint}
+	return []*Analyzer{Detlint, Yieldlint, Probelint, Alloclint, Shardlint, Ownlint, Timelint, Exhaustlint}
 }
 
 // Run applies the analyzers to every package of prog and returns the

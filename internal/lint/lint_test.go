@@ -29,6 +29,23 @@ func TestProbelintClean(t *testing.T) { linttest.Run(t, "testdata/probe_clean", 
 func TestAlloclintBad(t *testing.T)   { linttest.Run(t, "testdata/alloc_bad", lint.Alloclint) }
 func TestAlloclintClean(t *testing.T) { linttest.Run(t, "testdata/alloc_clean", lint.Alloclint) }
 
+func TestOwnlintBad(t *testing.T)   { linttest.Run(t, "testdata/own_bad", lint.Ownlint) }
+func TestOwnlintClean(t *testing.T) { linttest.Run(t, "testdata/own_clean", lint.Ownlint) }
+
+// TestOwnlintPR2Bug checks that ownlint re-finds the PR 2 bufpool
+// conservation bug purely from the ownership facts — pop hands out a raw
+// buffer, and a raw buffer may not cross a yield — in a fixture with the fix
+// reverted (the charge back inside the pop-to-take span). yieldlint finds
+// the same defect from the //ccnic:atomic annotation; this is the
+// annotation-independent proof.
+func TestOwnlintPR2Bug(t *testing.T) { linttest.Run(t, "testdata/own_pr2bug", lint.Ownlint) }
+
+func TestTimelintBad(t *testing.T)   { linttest.Run(t, "testdata/time_bad", lint.Timelint) }
+func TestTimelintClean(t *testing.T) { linttest.Run(t, "testdata/time_clean", lint.Timelint) }
+
+func TestExhaustlintBad(t *testing.T)   { linttest.Run(t, "testdata/exhaust_bad", lint.Exhaustlint) }
+func TestExhaustlintClean(t *testing.T) { linttest.Run(t, "testdata/exhaust_clean", lint.Exhaustlint) }
+
 // TestShardlintSelfCheck proves the analyzer fires: with the topology layer
 // removed from the boundary allowlist, every cluster-package Link.Send and
 // Engine.Connect must be flagged; with the real allowlist, the module must
@@ -111,6 +128,30 @@ func TestMutationSelfChecks(t *testing.T) {
 			new:      "it := p.free[n-1]\n\tp.free = make([]*item, 0, n)",
 			analyzer: lint.Alloclint,
 			wantMsg:  "make allocates",
+		},
+		{
+			name:     "ownlint flags a Free deleted on one path",
+			fixture:  "testdata/own_clean",
+			old:      "\t\tp.Free(b)\n\t\treturn\n\t}\n\tp.Free(b)\n}",
+			new:      "\t\tp.Free(b)\n\t\treturn\n\t}\n}",
+			analyzer: lint.Ownlint,
+			wantMsg:  "not released or transferred on every path",
+		},
+		{
+			name:     "timelint flags a deleted snapshot refresh",
+			fixture:  "testdata/time_clean",
+			old:      "\tstart = c.Now()\n",
+			new:      "",
+			analyzer: lint.Timelint,
+			wantMsg:  "captured before a yielding call",
+		},
+		{
+			name:     "exhaustlint flags a removed switch arm",
+			fixture:  "testdata/exhaust_clean",
+			old:      "\tcase StateModified:\n\t\treturn \"M\"\n\t}\n\treturn \"?\"",
+			new:      "\t}\n\treturn \"?\"",
+			analyzer: lint.Exhaustlint,
+			wantMsg:  "does not cover StateModified",
 		},
 	}
 	for _, tc := range cases {

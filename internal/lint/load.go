@@ -2,6 +2,8 @@ package lint
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -10,11 +12,13 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"io/fs"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked source package of the program under analysis.
@@ -39,7 +43,9 @@ type Program struct {
 
 	annots map[*ast.File]*fileAnnots // lazy, see annot.go
 	yields map[*types.Func]bool      // lazy, see callgraph.go
+	cg     *CallGraph                // lazy, see callgraph.go
 	funcs  map[*types.Func]*ast.FuncDecl
+	owns   *ownFacts // lazy, see ownlint.go
 }
 
 // PackageOf returns the loaded package with the given import path, or nil.
@@ -58,6 +64,18 @@ type listedPkg struct {
 	Error      *struct{ Err string }
 }
 
+// progCache shares loaded Programs within the process, keyed by the content
+// hash of the module sources (see cacheKey). Analyzer runs are read-only
+// over the Program, and the lazy indexes (annotations, call graph, yield
+// set, ownership facts) are deterministic functions of the same sources, so
+// two sequential loads of an unchanged tree may safely return one Program.
+// Programs are NOT safe for concurrent mutation; callers that run analyzers
+// from multiple goroutines must load separate copies.
+var progCache = struct {
+	sync.Mutex
+	m map[string]*Program
+}{m: map[string]*Program{}}
+
 // Load builds a Program for the module packages matching patterns
 // (e.g. "./..."), resolved from dir. Only non-test Go files are loaded —
 // the invariants the suite enforces are production-code properties, and
@@ -66,10 +84,70 @@ type listedPkg struct {
 // Dependencies outside the module (the standard library) are imported from
 // compiler export data, which `go list -export` produces from the local
 // build cache; the loader therefore needs no network access.
+//
+// Loads are cached at two levels, both keyed by the sha256 of go.mod,
+// go.sum, and every non-test Go file under dir: an in-process Program cache
+// (so a test binary that lints the module twice type-checks it once), and
+// an on-disk cache of the `go list` output under <dir>/.lintcache (so a
+// warm `make lint` skips the go-list subprocess, the slowest single step).
+// A cache entry whose recorded export-data files have been pruned from the
+// Go build cache is discarded and regenerated.
 func Load(dir string, patterns ...string) (*Program, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
+	key, _ := cacheKey(dir, patterns)
+
+	if key != "" {
+		progCache.Lock()
+		pr := progCache.m[key]
+		progCache.Unlock()
+		if pr != nil {
+			return pr, nil
+		}
+	}
+
+	out, cached := readListCache(dir, key)
+	if !cached {
+		var err error
+		if out, err = runGoList(dir, patterns); err != nil {
+			return nil, err
+		}
+	}
+	srcs, exports, err := parseGoList(out)
+	if cached && (err != nil || !exportsValid(exports)) {
+		// Stale disk cache (pruned build cache, changed toolchain): fall
+		// back to a fresh go list run.
+		cached = false
+		if out, err = runGoList(dir, patterns); err != nil {
+			return nil, err
+		}
+		srcs, exports, err = parseGoList(out)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !cached && key != "" {
+		writeListCache(dir, key, out)
+	}
+
+	prog, err := typecheck(srcs, exports)
+	if err != nil {
+		return nil, err
+	}
+	if key != "" {
+		progCache.Lock()
+		progCache.m[key] = prog
+		progCache.Unlock()
+	}
+	return prog, nil
+}
+
+// runGoList executes the go list query the loader is built on.
+func runGoList(dir string, patterns []string) ([]byte, error) {
 	args := append([]string{"list", "-e", "-export", "-deps",
 		"-json=ImportPath,Dir,Name,Standard,Export,GoFiles,Imports,Module,Error"}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -80,7 +158,12 @@ func Load(dir string, patterns ...string) (*Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
 	}
+	return out, nil
+}
 
+// parseGoList splits go list output into in-module source packages and
+// out-of-module export-data paths.
+func parseGoList(out []byte) ([]*listedPkg, map[string]string, error) {
 	exports := map[string]string{}
 	var srcs []*listedPkg
 	seen := map[string]bool{}
@@ -90,10 +173,10 @@ func Load(dir string, patterns ...string) (*Program, error) {
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("go list output: %v", err)
+			return nil, nil, fmt.Errorf("go list output: %v", err)
 		}
 		if p.Error != nil {
-			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+			return nil, nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
 		}
 		// A main package with a default.pgo profile makes `go list -deps`
 		// report its dependencies as PGO-specialized variants named
@@ -119,7 +202,113 @@ func Load(dir string, patterns ...string) (*Program, error) {
 			exports[p.ImportPath] = p.Export
 		}
 	}
-	return typecheck(srcs, exports)
+	return srcs, exports, nil
+}
+
+// exportsValid reports whether every recorded export-data file still exists.
+// The paths point into the Go build cache, which `go clean -cache` or cache
+// trimming can empty out from under a disk-cached go list output.
+func exportsValid(exports map[string]string) bool {
+	for _, path := range exports {
+		if _, err := os.Stat(path); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// cacheKey hashes everything that determines a load's result: the patterns,
+// go.mod and go.sum, and the path and content of every non-test Go file
+// under dir. Hidden directories, testdata (go list never reads it), and the
+// cache directory itself are skipped. An empty key disables caching.
+func cacheKey(dir string, patterns []string) (string, error) {
+	h := sha256.New()
+	for _, p := range patterns {
+		fmt.Fprintf(h, "pat\x00%s\x00", p)
+	}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != dir && (strings.HasPrefix(name, ".") || name == "testdata" || name == lintCacheDir) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		isMod := name == "go.mod" || name == "go.sum"
+		if !isMod && (!strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go")) {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			rel = path
+		}
+		fmt.Fprintf(h, "file\x00%s\x00%d\x00", filepath.ToSlash(rel), len(data))
+		h.Write(data)
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// lintCacheDir is the on-disk cache directory, relative to the load root.
+const lintCacheDir = ".lintcache"
+
+// readListCache returns the cached go list output for key, if present.
+func readListCache(dir, key string) ([]byte, bool) {
+	if key == "" {
+		return nil, false
+	}
+	out, err := os.ReadFile(listCachePath(dir, key))
+	return out, err == nil
+}
+
+// writeListCache stores the go list output for key and prunes entries for
+// other keys (stale trees). Failures are ignored: the cache is an
+// optimization, never a correctness dependency.
+func writeListCache(dir, key string, out []byte) {
+	cacheDir := filepath.Join(dir, lintCacheDir)
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return
+	}
+	path := listCachePath(dir, key)
+	tmp, err := os.CreateTemp(cacheDir, "golist-*.tmp")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(out)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	ents, err := os.ReadDir(cacheDir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasPrefix(name, "golist-") && strings.HasSuffix(name, ".json") &&
+			filepath.Join(cacheDir, name) != path {
+			os.Remove(filepath.Join(cacheDir, name))
+		}
+	}
+}
+
+func listCachePath(dir, key string) string {
+	return filepath.Join(dir, lintCacheDir, "golist-"+key[:16]+".json")
 }
 
 // LoadDir builds a single-package Program from the Go files in dir, which

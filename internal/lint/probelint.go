@@ -12,6 +12,10 @@ import (
 // is that a run without a checker attached pays exactly one predictable
 // branch per hook. An unguarded call makes the nil case a panic instead of a
 // no-op — and the hooks are nil in every production run.
+//
+// Taking a method value (`emit := pr.Event`) is held to the same rule:
+// evaluating a method value on a nil interface panics just like a call, so
+// the take must sit under a nil guard too.
 var Probelint = &Analyzer{
 	Name: "probelint",
 	Doc:  "require nil guards on calls through Probe-typed validation hooks",
@@ -21,11 +25,7 @@ var Probelint = &Analyzer{
 func runProbelint(pass *Pass) error {
 	for _, f := range pass.Files {
 		inspectWithStack(f, func(n ast.Node, stack []ast.Node) {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return
-			}
-			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return
 			}
@@ -33,13 +33,40 @@ func runProbelint(pass *Pass) error {
 			if !isProbeType(pass.TypesInfo.Types[recv].Type) {
 				return
 			}
-			if probeGuarded(pass, recv, call, stack) {
+			if selIsMethodExpr(pass, sel) {
+				return // Probe.Event-style method expression: no receiver evaluated
+			}
+			if probeGuarded(pass, recv, sel, stack) {
 				return
 			}
-			pass.Report(call.Pos(), "call through Probe hook %s is not nil-guarded; wrap it in `if %s != nil { ... }`", types.ExprString(recv), types.ExprString(recv))
+			if selIsCalled(sel, stack) {
+				pass.Report(sel.Pos(), "call through Probe hook %s is not nil-guarded; wrap it in `if %s != nil { ... }`", types.ExprString(recv), types.ExprString(recv))
+			} else {
+				pass.Report(sel.Pos(), "method value taken from Probe hook %s is not nil-guarded; evaluating it panics when the hook is nil", types.ExprString(recv))
+			}
 		})
 	}
 	return nil
+}
+
+// selIsCalled reports whether sel is the function operand of an enclosing
+// call (`pr.Event(...)`) rather than a bare method value (`pr.Event`).
+func selIsCalled(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		call, ok := stack[i].(*ast.CallExpr)
+		return ok && ast.Unparen(call.Fun) == sel
+	}
+	return false
+}
+
+// selIsMethodExpr reports whether sel is a method expression (T.M), whose
+// evaluation involves no receiver and cannot panic.
+func selIsMethodExpr(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	return ok && s.Kind() == types.MethodExpr
 }
 
 // isProbeType reports whether t is (a pointer to) a named interface type
@@ -59,40 +86,74 @@ func isProbeType(t types.Type) bool {
 	return isIface
 }
 
-// probeGuarded reports whether the call through recv is dominated by a nil
-// check: an enclosing `if recv != nil` (possibly as an && conjunct, with the
-// call in the then-branch), or an earlier `if recv == nil { return/panic }`
-// sibling in an enclosing block.
-func probeGuarded(pass *Pass, recv ast.Expr, call *ast.CallExpr, stack []ast.Node) bool {
+// probeGuarded reports whether the hook use at `use` (a call or a method
+// value) is dominated by a nil check: an enclosing `if recv != nil`
+// (possibly as an && conjunct, with the use in the then-branch), or an
+// earlier `if recv == nil { return/panic }` sibling in an enclosing block.
+func probeGuarded(pass *Pass, recv ast.Expr, use ast.Node, stack []ast.Node) bool {
 	recvStr := types.ExprString(recv)
 	for i := len(stack) - 1; i >= 0; i-- {
 		switch n := stack[i].(type) {
 		case *ast.IfStmt:
-			inThen := n.Body.Pos() <= call.Pos() && call.Pos() < n.Body.End()
+			inThen := n.Body.Pos() <= use.Pos() && use.Pos() < n.Body.End()
 			if inThen && condHasNotNil(n.Cond, recvStr) {
 				return true
 			}
 		case *ast.BlockStmt:
-			// The statement chain below this block that leads to the call.
+			// The statement chain below this block that leads to the use.
 			var within ast.Node
 			if i+1 < len(stack) {
 				within = stack[i+1]
 			}
 			for _, s := range n.List {
 				if within != nil && s.Pos() <= within.Pos() && within.Pos() < s.End() {
-					break // reached the call's own statement
+					break // reached the use's own statement
 				}
 				if ifs, ok := s.(*ast.IfStmt); ok && earlyExitNilGuard(ifs, recvStr) {
 					return true
 				}
 			}
 		case *ast.FuncLit:
-			// A guard outside a closure does not dominate calls inside it
-			// (the closure may run later, after the hook changed).
-			return false
+			// A guard outside a closure does not dominate uses inside it in
+			// general — the closure may run later, after the hook changed.
+			// A literal invoked in place (`func() { ... }()`, not deferred
+			// or go'd) runs synchronously under the guard, so domination
+			// continues through it.
+			if !immediatelyInvoked(n, stack, i) {
+				return false
+			}
 		}
 	}
 	return false
+}
+
+// immediatelyInvoked reports whether the literal at stack index idx is the
+// function operand of a plain call at its definition site. Defer and go
+// calls run later, after guards may have been invalidated, so they do not
+// count.
+func immediatelyInvoked(lit *ast.FuncLit, stack []ast.Node, idx int) bool {
+	j := idx - 1
+	for j >= 0 {
+		if _, ok := stack[j].(*ast.ParenExpr); ok {
+			j--
+			continue
+		}
+		break
+	}
+	if j < 0 {
+		return false
+	}
+	call, ok := stack[j].(*ast.CallExpr)
+	if !ok || ast.Unparen(call.Fun) != lit {
+		return false
+	}
+	if j > 0 {
+		switch stack[j-1].(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false
+		}
+	}
+	return true
 }
 
 // condHasNotNil reports whether cond contains `expr != nil` as a top-level

@@ -1,0 +1,39 @@
+// Package exhaustbad switches over an enum without covering it: once with
+// no default at all, once hiding the gap behind an unjustified default.
+package exhaustbad
+
+// State is a coherence-style enum.
+type State int
+
+// The enum's values; numStates is an array-sizing sentinel, not a value.
+const (
+	StateInvalid State = iota
+	StateShared
+	StateModified
+	numStates
+)
+
+var _ = numStates
+
+// name lacks a case for StateModified and has no default.
+func name(s State) string {
+	switch s { // want "does not cover StateModified and has no default"
+	case StateInvalid:
+		return "I"
+	case StateShared:
+		return "S"
+	}
+	return "?"
+}
+
+// fallback hides the missing case behind a default with no justification.
+func fallback(s State) string {
+	switch s {
+	case StateInvalid:
+		return "I"
+	case StateShared:
+		return "S"
+	default: // want "default clause hides missing State cases StateModified"
+		return "?"
+	}
+}

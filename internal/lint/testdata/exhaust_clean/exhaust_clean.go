@@ -1,0 +1,68 @@
+// Package exhaustclean shows the accepted switch shapes: full coverage, a
+// justified default, a dynamic case (coverage not statically decidable),
+// and a one-constant type that does not count as an enum.
+package exhaustclean
+
+// State is a coherence-style enum.
+type State int
+
+// The enum's values; numStates is an array-sizing sentinel, not a value.
+const (
+	StateInvalid State = iota
+	StateShared
+	StateModified
+	numStates
+)
+
+var _ = numStates
+
+// Mode has a single constant: not an enum, switches over it are free.
+type Mode int
+
+// ModeDefault is Mode's only value.
+const ModeDefault Mode = 0
+
+// full covers every constant; the mutation self-test removes the
+// StateModified arm and the analyzer must flag the gap.
+func full(s State) string {
+	switch s {
+	case StateInvalid:
+		return "I"
+	case StateShared:
+		return "S"
+	case StateModified:
+		return "M"
+	}
+	return "?"
+}
+
+// justified carries an annotated default for the uncovered tail.
+func justified(s State) string {
+	switch s {
+	case StateModified:
+		return "M"
+	//ccnic:default-ok only modified lines write back; all other states read through
+	default:
+		return "-"
+	}
+}
+
+// dynamic has a non-constant case, so coverage is not statically decidable.
+func dynamic(s, hot State) string {
+	switch s {
+	case hot:
+		return "hot"
+	case StateInvalid:
+		return "I"
+	}
+	return "?"
+}
+
+// single switches over the one-constant type.
+func single(m Mode) int {
+	switch m {
+	case ModeDefault:
+		return 0
+	}
+	return 1
+}

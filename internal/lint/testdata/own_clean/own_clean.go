@@ -1,0 +1,176 @@
+// Package ownclean exercises every idiom the ownership analyzer must accept:
+// nil-guarded early returns, conditional releases, moves, transfers through
+// append / channel send / ring store, deferred releases, the raw pop-take
+// fast path with the charge outside the span, and a consuming helper whose
+// summary is inferred rather than annotated.
+package ownclean
+
+// Buf is a pool buffer; the analyzer recognizes the type by name.
+type Buf struct {
+	refs int
+	data []byte
+}
+
+// Port hands out and reclaims buffers.
+type Port struct {
+	free        []*Buf
+	outstanding int
+}
+
+// Alloc returns an owned buffer (nil when the pool is empty).
+//
+//ccnic:owns
+func (p *Port) Alloc() *Buf {
+	n := len(p.free)
+	if n == 0 {
+		return nil
+	}
+	b := p.free[n-1]
+	p.free = p.free[:n-1]
+	p.outstanding++
+	return b
+}
+
+// Free returns a buffer to the pool, consuming it.
+//
+//ccnic:transfer
+func (p *Port) Free(b *Buf) {
+	p.outstanding--
+	p.free = append(p.free, b)
+}
+
+// pop removes the free-list top without accounting for it.
+//
+//ccnic:owns raw
+func (p *Port) pop() *Buf {
+	n := len(p.free)
+	if n == 0 {
+		return nil
+	}
+	b := p.free[n-1]
+	p.free = p.free[:n-1]
+	return b
+}
+
+// take accounts a popped buffer: it consumes the raw obligation and hands
+// the same buffer back as an owned allocation.
+//
+//ccnic:transfer
+//ccnic:owns
+func (p *Port) take(b *Buf) *Buf {
+	p.outstanding++
+	return b
+}
+
+// charge models a blocking simulated-time charge.
+//
+//ccnic:yields
+func charge() {}
+
+// roundTrip is the straight-line acquire-use-release shape.
+func (p *Port) roundTrip() {
+	b := p.Alloc()
+	if b == nil {
+		return
+	}
+	b.refs++
+	p.Free(b)
+}
+
+// conditional releases under a nil guard; the merge of the released arm and
+// the refined nil arm must stay clean.
+func (p *Port) conditional() {
+	b := p.Alloc()
+	if b != nil {
+		p.Free(b)
+	}
+}
+
+// splitPath releases on both of two return paths; the mutation self-test
+// deletes the cold-path Free and the analyzer must flag the leak.
+func (p *Port) splitPath(hot bool) {
+	b := p.Alloc()
+	if b == nil {
+		return
+	}
+	if hot {
+		b.refs++
+		p.Free(b)
+		return
+	}
+	p.Free(b)
+}
+
+// batch transfers through append and a channel send.
+func (p *Port) batch(out []*Buf, ch chan *Buf) []*Buf {
+	b := p.Alloc()
+	if b == nil {
+		return out
+	}
+	out = append(out, b)
+	c := p.Alloc()
+	if c == nil {
+		return out
+	}
+	ch <- c
+	return out
+}
+
+// deferred releases at function exit.
+func (p *Port) deferred() int {
+	b := p.Alloc()
+	if b == nil {
+		return 0
+	}
+	defer p.Free(b)
+	return b.refs
+}
+
+// move reassigns ownership to a second variable; only the destination
+// carries the obligation afterwards.
+func (p *Port) move() {
+	b := p.Alloc()
+	c := b
+	if c != nil {
+		p.Free(c)
+	}
+}
+
+// popTake is the fixed PR 2 fast path: the raw span closes at take, and
+// only then does the charge yield.
+func (p *Port) popTake() {
+	b := p.pop()
+	if b == nil {
+		return
+	}
+	b = p.take(b)
+	charge()
+	p.Free(b)
+}
+
+// drop is deliberately unannotated: the interprocedural fixpoint must infer
+// that it consumes b, because every path through it releases.
+func (p *Port) drop(b *Buf) {
+	if b == nil {
+		return
+	}
+	p.Free(b)
+}
+
+// viaHelper relies on drop's inferred summary.
+func (p *Port) viaHelper() {
+	b := p.Alloc()
+	p.drop(b)
+}
+
+// loop re-acquires each iteration; the loop-head join must not leak state
+// across iterations.
+func (p *Port) loop(n int) {
+	for i := 0; i < n; i++ {
+		b := p.Alloc()
+		if b == nil {
+			break
+		}
+		p.Free(b)
+	}
+}

@@ -1,0 +1,62 @@
+// Package ownpr2bug is internal/bufpool's Alloc fast path with the PR 2 fix
+// reverted: the simulated-time charge sits inside the pop-to-take span, so
+// the pool's conservation count is inconsistent while the charge yields.
+// yieldlint finds this shape from the //ccnic:atomic annotation
+// (testdata/yield_pr2bug); ownlint must re-find it from the ownership facts
+// alone — pop hands out a raw buffer, and raw buffers may not cross a yield.
+package ownpr2bug
+
+// Buf is a pool buffer.
+type Buf struct{ small bool }
+
+// Pool tracks the conservation count.
+type Pool struct{ outstanding int }
+
+// Port is one allocation endpoint over the shared pool.
+type Port struct {
+	small []*Buf
+	pool  *Pool
+}
+
+// charge models Proc.Sleep: the caller yields until the charge elapses.
+//
+//ccnic:yields
+func charge(ps int) { _ = ps }
+
+// take accounts a popped buffer as outstanding, consuming the raw
+// obligation and returning the same buffer owned.
+//
+//ccnic:transfer
+//ccnic:owns
+func (pl *Pool) take(b *Buf) *Buf {
+	pl.outstanding++
+	return b
+}
+
+// pop removes the free-list top without accounting.
+//
+//ccnic:owns raw
+func (p *Port) pop() *Buf {
+	n := len(p.small)
+	if n == 0 {
+		return nil
+	}
+	b := p.small[n-1]
+	p.small = p.small[:n-1]
+	return b
+}
+
+// Alloc is the fast path with the fix reverted: in the pop-charge-take
+// order the free list no longer holds the buffer while outstanding has not
+// yet counted it — and charge yields in between, so another process can
+// observe the mismatch.
+//
+//ccnic:owns
+func (p *Port) Alloc() *Buf {
+	b := p.pop()
+	if b == nil {
+		return nil
+	}
+	charge(40) // want "raw buffer b is held across yielding call charge"
+	return p.pool.take(b)
+}

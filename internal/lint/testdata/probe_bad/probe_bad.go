@@ -33,3 +33,20 @@ func (s *sys) deferred() func() {
 	}
 	return nil
 }
+
+// deferredClosure invokes the literal at its definition site, but under
+// defer: it runs at function exit, after the guard may have been
+// invalidated, so the guard still does not dominate.
+func (s *sys) deferredClosure() {
+	if s.probe != nil {
+		defer func() {
+			s.probe.Event(4) // want "not nil-guarded"
+		}()
+	}
+}
+
+// methodValue takes pr.Event without a guard; evaluating a method value on
+// a nil interface panics just like calling through it.
+func (s *sys) methodValue() func(int) {
+	return s.probe.Event // want "method value taken from Probe hook"
+}

@@ -28,3 +28,29 @@ func (s *sys) earlyExit() {
 	s.probe.Event(3)
 	s.probe.Event(4)
 }
+
+// immediate exercises guard-then-immediate-closure: the literal runs in
+// place, synchronously under the guard, so domination continues through it.
+func (s *sys) immediate() {
+	if s.probe != nil {
+		func() {
+			s.probe.Event(5)
+		}()
+	}
+}
+
+// methodValue exercises the guarded method-value pattern: the take happens
+// under the guard, and the bound value is then safe to call anywhere.
+func (s *sys) methodValue() func(int) {
+	if s.probe == nil {
+		return nil
+	}
+	emit := s.probe.Event
+	emit(6)
+	return emit
+}
+
+// methodExpr involves no receiver evaluation at all and needs no guard.
+func methodExpr() func(Probe, int) {
+	return Probe.Event
+}

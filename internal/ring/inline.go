@@ -378,6 +378,7 @@ func (r *Inline) consume(p *sim.Proc, a *coherence.Agent, max int) []*bufpool.Bu
 				return out
 			}
 			return out
+		//ccnic:default-ok Grouped and Padded share the line-granularity path; only Packed differs
 		default:
 			// A successful consume streams sequentially through ring
 			// lines, so it trains the hardware prefetcher (Read); an

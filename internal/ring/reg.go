@@ -112,7 +112,10 @@ func (r *Reg) LinesFor(from, count int) []mem.Addr {
 	return lines
 }
 
-// Put stores a buffer in slot i and clears its done flag.
+// Put stores a buffer in slot i and clears its done flag, taking ownership:
+// the buffer now belongs to the ring until the peer Takes it.
+//
+//ccnic:transfer
 func (r *Reg) Put(i int, b *bufpool.Buf) {
 	r.slots[i%r.nDesc] = b
 	r.done[i%r.nDesc] = false
@@ -122,7 +125,10 @@ func (r *Reg) Put(i int, b *bufpool.Buf) {
 // Get returns the buffer in slot i.
 func (r *Reg) Get(i int) *bufpool.Buf { return r.slots[i%r.nDesc] }
 
-// Take removes and returns the buffer in slot i.
+// Take removes and returns the buffer in slot i; the caller now owns it
+// (nil if the slot is empty).
+//
+//ccnic:owns
 func (r *Reg) Take(i int) *bufpool.Buf {
 	b := r.slots[i%r.nDesc]
 	r.slots[i%r.nDesc] = nil
