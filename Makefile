@@ -10,8 +10,11 @@
 #                     (kernel, parallel shard engine, cluster model)
 #   make bench-smoke  one-iteration pass over the kernel + headline benches,
 #                     then the benchgate regression + absolute-floor gates
-#                     vs BENCH_PR6.json (relative factor, events/s floor,
-#                     and the multi-shard cluster trajectory point)
+#                     vs BENCH_PR9.json (relative factor, events/s floor,
+#                     and the multi-shard cluster + fabric-incast
+#                     trajectory points)
+#   make fabric       quick fabric matrix: fairness/invariance tests and the
+#                     fabric experiment family with invariants attached
 #   make faults       quick fault matrix: property harness, recovery-path
 #                     tests, and fault experiments with invariants attached
 #   make protocols    quick protocol matrix: differential + transition tests,
@@ -28,9 +31,9 @@
 
 GO ?= go
 
-.PHONY: check verify lint lint-json vet race bench-smoke faults protocols bench-json golden-check golden-shards golden
+.PHONY: check verify lint lint-json vet race bench-smoke faults protocols fabric bench-json golden-check golden-shards golden
 
-check: verify lint vet race bench-smoke faults protocols golden-check
+check: verify lint vet race bench-smoke faults protocols fabric golden-check
 
 verify:
 	$(GO) build ./...
@@ -52,7 +55,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/sim/ ./internal/sim/shard/ ./internal/cluster/
+	$(GO) test -race -count=1 ./internal/sim/ ./internal/sim/shard/ ./internal/fabric/ ./internal/cluster/
 	$(GO) test -race -count=1 -run 'TestCluster' ./internal/check/prop/
 
 bench-smoke:
@@ -76,8 +79,17 @@ protocols:
 	$(GO) test -count=1 -run 'CXL|Protocol' ./internal/coherence/ ./internal/check/ ./internal/check/prop/
 	$(GO) run ./cmd/ccbench -quick -check -protocol cxl fig13 fig17 proto-sweep > /dev/null
 
+# Quick local fabric matrix: the switch model's own tests, the fairness and
+# partition-invariance properties at the cluster layer, and the fabric
+# experiment family with the invariant engine attached. The full
+# ports x shards x seed grid runs in CI (fabric-matrix job).
+fabric:
+	$(GO) test -count=1 ./internal/fabric/
+	$(GO) test -count=1 -run 'Fairness|Flow|Tenant|Signaling' ./internal/cluster/
+	$(GO) run ./cmd/ccbench -quick -check fabric-incast fabric-isolation fabric-crossover > /dev/null
+
 bench-json:
-	$(GO) run ./cmd/ccbench -all -cluster -json BENCH_PR6.json
+	$(GO) run ./cmd/ccbench -all -cluster -fabric -json BENCH_PR9.json
 
 # Every experiment at full scale with the invariant engine attached; output
 # must be bit-identical to the committed transcript. ccbench exits 1 on any

@@ -352,8 +352,15 @@ type Cluster = cluster.Cluster
 type ClusterReport = cluster.Report
 
 // NewCluster assembles a multi-host deployment. Results are bit-identical
-// for every Shards and Workers value; only wall-clock time varies.
-func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+// for every Shards and Workers value; only wall-clock time varies. Like
+// NewTestbed, a nil Faults picks up the process default (-faults), so
+// cluster-based experiments run armed under the fault CI matrix.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Faults == nil {
+		cfg.Faults = defaultFaults
+	}
+	return cluster.New(cfg)
+}
 
 // Histogram re-exports the latency histogram type.
 type Histogram = stats.Histogram

@@ -11,15 +11,17 @@
 //   - An absolute ratchet: every re-measured rate must clear -floor
 //     events/s, and the baseline's multi_shard record (the parallel shard
 //     engine's cluster trajectory point, BENCH_PR6.json onward) must clear
-//     -msfloor events/s. The relative gate alone would drift downward if a
-//     slow baseline were ever committed; the floors cannot.
+//     -msfloor events/s, and its fabric_incast record (the switched-fabric
+//     trajectory point, BENCH_PR9.json onward) must clear -fabfloor. The
+//     relative gate alone would drift downward if a slow baseline were ever
+//     committed; the floors cannot.
 //
-// The multi-shard point is additionally re-measured with a short cluster
-// run and held to the same relative factor.
+// The multi-shard and fabric-incast points are additionally re-measured
+// with short cluster runs and held to the same relative factor.
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_PR6.json [-factor 3] [-floor 2e5] [-msfloor 5.73e6] [id...]
+//	benchgate -baseline BENCH_PR9.json [-factor 3] [-floor 2e5] [-msfloor 5.73e6] [-fabfloor 2.4e6] [id...]
 package main
 
 import (
@@ -48,6 +50,11 @@ type baselineFile struct {
 		Hosts        int     `json:"hosts"`
 		EventsPerSec float64 `json:"events_per_sec"`
 	} `json:"multi_shard"`
+	FabricIncast *struct {
+		Ports        int     `json:"ports"`
+		Shards       int     `json:"shards"`
+		EventsPerSec float64 `json:"events_per_sec"`
+	} `json:"fabric_incast"`
 }
 
 func main() {
@@ -56,10 +63,11 @@ func main() {
 	if os.Getenv("GOGC") == "" {
 		debug.SetGCPercent(400)
 	}
-	basePath := flag.String("baseline", "BENCH_PR6.json", "perf-trajectory `file` written by ccbench -json")
+	basePath := flag.String("baseline", "BENCH_PR9.json", "perf-trajectory `file` written by ccbench -json")
 	factor := flag.Float64("factor", 3.0, "fail when baseline/current exceeds this ratio")
 	floor := flag.Float64("floor", 2e5, "fail when any re-measured experiment rate falls below `min` events/s")
 	msFloor := flag.Float64("msfloor", 5.73e6, "fail when the baseline multi_shard rate falls below `min` events/s (0 disables)")
+	fabFloor := flag.Float64("fabfloor", 2.4e6, "fail when the baseline fabric_incast rate falls below `min` events/s (0 disables)")
 	flag.Parse()
 
 	// Default to experiments whose full-scale runs execute tens of millions
@@ -151,6 +159,61 @@ func main() {
 		}
 		fmt.Printf("%-8s baseline %6.2fM ev/s, current %6.2fM ev/s, ratio %.2fx [%s]\n",
 			"cluster", ms.EventsPerSec/1e6, rate/1e6, ratio, verdict)
+	}
+
+	// Fabric gate: same shape as the multi-shard gate for the switched-
+	// fabric incast trajectory point.
+	if *fabFloor > 0 {
+		fb := base.FabricIncast
+		if fb == nil {
+			fatalf("benchgate: %s has no fabric_incast record (regenerate with ccbench -fabric -json)", *basePath)
+		}
+		verdict := "ok"
+		if fb.EventsPerSec < *fabFloor {
+			verdict = "FAIL"
+			bad++
+		}
+		fmt.Printf("%-8s committed %6.2fM ev/s (%d ports, %d shards), floor %.2fM [%s]\n",
+			"fabric", fb.EventsPerSec/1e6, fb.Ports, fb.Shards, *fabFloor/1e6, verdict)
+
+		workers := runtime.GOMAXPROCS(0)
+		if workers > fb.Ports {
+			workers = fb.Ports
+		}
+		srcs := make([]int, fb.Ports-1)
+		for i := range srcs {
+			srcs[i] = i + 1
+		}
+		var rate float64
+		for try := 0; try < 2; try++ {
+			c := cluster.New(cluster.Config{
+				Hosts:   fb.Ports,
+				Workers: workers,
+				Window:  8,
+				ReqSize: 512,
+				Pattern: cluster.PatternIncast,
+				Flows: []cluster.FlowSpec{{
+					Name: "ads", Srcs: srcs, Dst: 0, Dist: "ads",
+					MeanGap: 800 * sim.Nanosecond, Tenants: 128,
+					ZipfS: 0.75, TrackEvery: 8, Seed: 17,
+				}},
+			})
+			start := time.Now()
+			if err := c.Run(2 * sim.Millisecond); err != nil {
+				fatalf("benchgate: fabric: %v", err)
+			}
+			if r := float64(c.Events()) / time.Since(start).Seconds(); r > rate {
+				rate = r
+			}
+		}
+		ratio := fb.EventsPerSec / rate
+		verdict = "ok"
+		if ratio > *factor {
+			verdict = "FAIL"
+			bad++
+		}
+		fmt.Printf("%-8s baseline %6.2fM ev/s, current %6.2fM ev/s, ratio %.2fx [%s]\n",
+			"fabric", fb.EventsPerSec/1e6, rate/1e6, ratio, verdict)
 	}
 
 	if bad > 0 {

@@ -10,6 +10,11 @@
 //	ccbench -json out.json -all
 //	                          also write per-experiment host-perf records
 //	                          (wall-clock, simulated events/sec, allocs)
+//	ccbench -cluster -fabric -json out.json
+//	                          record the multi_shard and fabric_incast
+//	                          trajectory points (cmd/benchgate floors them)
+//	ccbench -ports 16 fabric-incast
+//	                          sweep the fabric experiments' switch fan-in
 //	ccbench -cpuprofile cpu.pprof -memprofile mem.pprof fig13
 //	                          capture pprof profiles of the host hot path
 package main
@@ -47,6 +52,23 @@ type benchFile struct {
 	// multi-host cluster scenario's aggregate simulation rate (written
 	// by -cluster; BENCH_PR6.json onward).
 	MultiShard *multiShardRecord `json:"multi_shard,omitempty"`
+	// FabricIncast is the switched-fabric trajectory point: an incast
+	// fan-in with aggregated tenant flows through the DRR switch (written
+	// by -fabric; BENCH_PR9.json onward).
+	FabricIncast *fabricRecord `json:"fabric_incast,omitempty"`
+}
+
+type fabricRecord struct {
+	Ports        int     `json:"ports"` // switch fan-in (hosts attached)
+	Shards       int     `json:"shards"`
+	Workers      int     `json:"workers"`
+	SimEvents    uint64  `json:"sim_events"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	RPCs         int64   `json:"rpcs"`
+	FlowPackets  int64   `json:"flow_packets"`
+	Forwarded    int64   `json:"forwarded"`
+	Dropped      int64   `json:"dropped"`
 }
 
 type multiShardRecord struct {
@@ -87,6 +109,8 @@ func main() {
 	shardsFlag := flag.Int("shards", 1, "worker budget: `N` > 1 runs experiments on N concurrent workers (output and checks are order-preserving and bit-identical to serial runs) and parallelizes -cluster")
 	clusterFlag := flag.Bool("cluster", false, "run the multi-host cluster scenario on the parallel shard engine and record its aggregate rate (the multi_shard trajectory point)")
 	hostsFlag := flag.Int("hosts", 0, "cluster member nodes for -cluster (default max(shards, 8))")
+	portsFlag := flag.Int("ports", 0, "cap the fabric experiments' switch fan-in at `N` ports (0 = experiment defaults; refused with -golden/-hashes)")
+	fabricFlag := flag.Bool("fabric", false, "run the switched-fabric incast scenario and record its aggregate rate (the fabric_incast trajectory point)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ccbench [-quick] [-json file] [-all | -list | <id>...]\n\n")
 		fmt.Fprintf(os.Stderr, "Regenerates the CC-NIC paper's evaluation tables and figures.\n\n")
@@ -109,7 +133,7 @@ func main() {
 	} else {
 		ids = flag.Args()
 	}
-	if len(ids) == 0 && !*clusterFlag {
+	if len(ids) == 0 && !*clusterFlag && !*fabricFlag {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -179,6 +203,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ccbench: protocol backend: %v\n", proto)
 		}
 	}
+	if *portsFlag != 0 {
+		if *portsFlag < 2 {
+			fatalf("ccbench: -ports needs at least 2 switch ports")
+		}
+		if *goldenPath != "" || *hashesPath != "" {
+			fatalf("ccbench: -ports changes the fabric sweep geometry; golden and hash runs pin the defaults")
+		}
+	}
 	if *checkFlag {
 		check.EnableAuto()
 	}
@@ -201,7 +233,7 @@ func main() {
 		NumCPU:    runtime.NumCPU(),
 		Quick:     *quick,
 	}
-	opt := experiments.Options{Quick: *quick}
+	opt := experiments.Options{Quick: *quick, FabricPorts: *portsFlag}
 	goldenBad := 0
 
 	// With -shards > 1, experiments run on N concurrent workers. Results
@@ -331,6 +363,63 @@ func main() {
 			WallSeconds:  wall.Seconds(),
 			EventsPerSec: rate,
 			RPCs:         rep.Done,
+		}
+	}
+
+	if *fabricFlag {
+		ports := *portsFlag
+		if ports == 0 {
+			ports = 8
+		}
+		until := 20 * sim.Millisecond
+		if *quick {
+			until = 2 * sim.Millisecond
+		}
+		fabricWorkers := runtime.GOMAXPROCS(0)
+		if *shardsFlag > 1 && *shardsFlag < fabricWorkers {
+			fabricWorkers = *shardsFlag
+		}
+		srcs := make([]int, ports-1)
+		for i := range srcs {
+			srcs[i] = i + 1
+		}
+		c := cluster.New(cluster.Config{
+			Hosts:   ports,
+			Workers: fabricWorkers,
+			Window:  8,
+			ReqSize: 512,
+			Pattern: cluster.PatternIncast,
+			Faults:  plan,
+			Flows: []cluster.FlowSpec{{
+				Name: "ads", Srcs: srcs, Dst: 0, Dist: "ads",
+				MeanGap: 800 * sim.Nanosecond, Tenants: 128,
+				ZipfS: 0.75, TrackEvery: 8, Seed: 17,
+			}},
+		})
+		start := time.Now()
+		if err := c.Run(until); err != nil {
+			fatalf("ccbench: fabric: %v", err)
+		}
+		wall := time.Since(start)
+		rep := c.Report()
+		events := c.Events()
+		rate := float64(events) / wall.Seconds()
+		fmt.Printf("== fabric: %d-port incast with aggregated tenant flows (%d shards, %d workers)\n",
+			ports, rep.Shards, fabricWorkers)
+		fmt.Print(rep)
+		fmt.Printf("[fabric completed in %s | %.2fM sim events, %.2fM events/s aggregate]\n\n",
+			wall.Round(time.Millisecond), float64(events)/1e6, rate/1e6)
+		out.FabricIncast = &fabricRecord{
+			Ports:        ports,
+			Shards:       rep.Shards,
+			Workers:      fabricWorkers,
+			SimEvents:    events,
+			WallSeconds:  wall.Seconds(),
+			EventsPerSec: rate,
+			RPCs:         rep.Done,
+			FlowPackets:  rep.FlowDelivered,
+			Forwarded:    rep.Forwarded,
+			Dropped:      rep.Dropped,
 		}
 	}
 

@@ -11,6 +11,7 @@
 //	ccnicsim -platform SPR -iface unopt -queues 16 -trace
 //	ccnicsim -iface overlay -workload kv -dist geo -queues 4
 //	ccnicsim -platform CXL -iface ccnic -queues 8 -workload forward
+//	ccnicsim -workload cluster -hosts 8 -incast -bulk 2 -signal pcie
 package main
 
 import (
@@ -20,6 +21,8 @@ import (
 	"strings"
 
 	"ccnic"
+	"ccnic/internal/cluster"
+	"ccnic/internal/fabric"
 	"ccnic/internal/sim"
 )
 
@@ -43,6 +46,10 @@ func main() {
 		faults   = flag.String("faults", "", "arm a deterministic fault `plan`, e.g. \"seed=7,dbdrop=0.01\" or \"all=0.005\" (see internal/fault)")
 		shards   = flag.Int("shards", 0, "cluster workload: partition the hosts into `N` shards on the parallel engine (0 = one per host; results are identical for every value)")
 		hosts    = flag.Int("hosts", 0, "cluster workload: member node count (default 4)")
+		incast   = flag.Bool("incast", false, "cluster workload: converge all RPC clients on host 0 (default spread)")
+		fifo     = flag.Bool("fifo", false, "cluster workload: FIFO fabric scheduling instead of DRR fair queuing")
+		bulk     = flag.Int("bulk", 0, "cluster workload: saturating 8KiB bulk tenants aimed at host 0 (`N` generators)")
+		signal   = flag.String("signal", "ccnic", "cluster workload: host-NIC signaling model, ccnic or pcie")
 	)
 	flag.Parse()
 
@@ -55,7 +62,11 @@ func main() {
 	// The cluster workload is a multi-host topology on the parallel shard
 	// engine, not a single testbed: handle it before testbed assembly.
 	if *workload == "cluster" {
-		runCluster(*hosts, *shards, *window, *pkt, *measure, plan)
+		runCluster(clusterOpts{
+			hosts: *hosts, shards: *shards, window: *window, reqSize: *pkt,
+			measureUS: *measure, plan: plan,
+			incast: *incast, fifo: *fifo, bulk: *bulk, signal: *signal,
+		})
 		return
 	}
 
@@ -167,22 +178,59 @@ func main() {
 	}
 }
 
+// clusterOpts collects the cluster workload's flag surface.
+type clusterOpts struct {
+	hosts, shards, window, reqSize int
+	measureUS                      float64
+	plan                           *ccnic.FaultPlan
+	incast, fifo                   bool
+	bulk                           int
+	signal                         string
+}
+
 // runCluster drives the multi-host cluster workload on the parallel shard
 // engine and prints its report.
-func runCluster(hosts, shards, window, reqSize int, measureUS float64, plan *ccnic.FaultPlan) {
-	c := ccnic.NewCluster(ccnic.ClusterConfig{
-		Hosts:   hosts,
-		Shards:  shards,
-		Window:  window,
-		ReqSize: reqSize,
-		Faults:  plan,
-	})
+func runCluster(o clusterOpts) {
+	cfg := ccnic.ClusterConfig{
+		Hosts:      o.hosts,
+		Shards:     o.shards,
+		Window:     o.window,
+		ReqSize:    o.reqSize,
+		Faults:     o.plan,
+		FabricFIFO: o.fifo,
+	}
+	if o.incast || o.bulk > 0 {
+		cfg.Pattern = cluster.PatternIncast
+	}
+	switch strings.ToLower(o.signal) {
+	case "", "ccnic":
+		cfg.Signaling = cluster.SignalCCNIC
+	case "pcie":
+		cfg.Signaling = cluster.SignalPCIe
+	default:
+		fmt.Fprintf(os.Stderr, "ccnicsim: unknown signaling model %q (ccnic or pcie)\n", o.signal)
+		os.Exit(1)
+	}
+	effHosts := cfg.Hosts
+	if effHosts == 0 {
+		effHosts = 4 // cluster.New's default
+	}
+	for i := 0; i < o.bulk; i++ {
+		src := 1 + i%(effHosts-1)
+		cfg.Flows = append(cfg.Flows, cluster.FlowSpec{
+			Name: fmt.Sprintf("bulk%d", i), Srcs: []int{src}, Dst: 0,
+			Class: fabric.ClassBulk, Bytes: 8192,
+			MeanGap: 300 * sim.Nanosecond, Tenants: 8,
+			TrackEvery: 32, Seed: int64(23 + i),
+		})
+	}
+	c := ccnic.NewCluster(cfg)
 	fmt.Printf("cluster workload on the parallel shard engine (lookahead %v)\n", c.Lookahead())
-	if plan != nil {
-		fmt.Printf("fault plan armed: %s\n", plan)
+	if o.plan != nil {
+		fmt.Printf("fault plan armed: %s\n", o.plan)
 	}
 	fmt.Println()
-	if err := c.Run(sim.Time(measureUS * float64(sim.Microsecond))); err != nil {
+	if err := c.Run(sim.Time(o.measureUS * float64(sim.Microsecond))); err != nil {
 		fmt.Fprintf(os.Stderr, "ccnicsim: cluster: %v\n", err)
 		os.Exit(1)
 	}

@@ -20,6 +20,7 @@ import (
 
 	"ccnic/internal/bufpool"
 	"ccnic/internal/coherence"
+	"ccnic/internal/fabric"
 	"ccnic/internal/interconn"
 	"ccnic/internal/mem"
 	"ccnic/internal/ring"
@@ -96,12 +97,13 @@ func Attach(sys *coherence.System) *Engine {
 	return e
 }
 
-// EnableAuto arranges for every System created from now on to get its own
-// engine. Call once, before any experiment or kernel starts: the hook is
-// read concurrently by parallel experiment workers and must not change
-// while they run.
+// EnableAuto arranges for every System and every fabric Switch created from
+// now on to get its own engine. Call once, before any experiment or kernel
+// starts: the hooks are read concurrently by parallel experiment workers and
+// must not change while they run.
 func EnableAuto() {
 	coherence.AutoAttach = func(s *coherence.System) { Attach(s) }
+	fabric.AutoAttach = func(sw *fabric.Switch) { AttachFabric(sw) }
 }
 
 // SetCollect switches the engine to accumulate violations (up to a cap)

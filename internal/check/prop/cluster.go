@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"ccnic/internal/cluster"
+	"ccnic/internal/fabric"
 	"ccnic/internal/fault"
 	"ccnic/internal/sim"
 )
@@ -20,6 +21,12 @@ type ClusterScenario struct {
 	Window  int
 	ReqSize int
 	Faults  string // fault.ParsePlan spec; "" runs fault-free
+
+	// Fabric axes (PR 9): switch scheduling mode, destination pattern,
+	// and an optional open-loop bulk tenant flow riding the same switch.
+	FIFO     bool
+	Incast   bool
+	BulkFlow bool
 }
 
 func (sc ClusterScenario) String() string {
@@ -27,10 +34,21 @@ func (sc ClusterScenario) String() string {
 	if sc.Faults != "" {
 		s += " faults=" + sc.Faults
 	}
+	if sc.FIFO {
+		s += " fifo"
+	}
+	if sc.Incast {
+		s += " incast"
+	}
+	if sc.BulkFlow {
+		s += " bulkflow"
+	}
 	return s
 }
 
 // GenerateCluster derives a cluster scenario deterministically from seed.
+// New axes are drawn after the pre-existing ones, so a seed's legacy shape
+// (hosts/window/size/faults) is stable across harness generations.
 func GenerateCluster(seed int64) ClusterScenario {
 	rng := rand.New(rand.NewSource(seed))
 	sc := ClusterScenario{Seed: seed}
@@ -40,6 +58,9 @@ func GenerateCluster(seed int64) ClusterScenario {
 	if rng.Intn(3) == 0 {
 		sc.Faults = fmt.Sprintf("seed=%d,stall=0.01,dma=0.01,link=0.01", seed)
 	}
+	sc.FIFO = rng.Intn(2) == 1
+	sc.Incast = rng.Intn(4) == 0
+	sc.BulkFlow = rng.Intn(3) == 0
 	return sc
 }
 
@@ -50,11 +71,22 @@ func GenerateCluster(seed int64) ClusterScenario {
 // and legitimately differ between partitions (see internal/cluster).
 func (sc ClusterScenario) RunShards(shards, workers int) string {
 	cfg := cluster.Config{
-		Hosts:   sc.Hosts,
-		Shards:  shards,
-		Workers: workers,
-		Window:  sc.Window,
-		ReqSize: sc.ReqSize,
+		Hosts:      sc.Hosts,
+		Shards:     shards,
+		Workers:    workers,
+		Window:     sc.Window,
+		ReqSize:    sc.ReqSize,
+		FabricFIFO: sc.FIFO,
+	}
+	if sc.Incast {
+		cfg.Pattern = cluster.PatternIncast
+	}
+	if sc.BulkFlow {
+		cfg.Flows = []cluster.FlowSpec{{
+			Name: "bulk", Srcs: []int{sc.Hosts - 1}, Dst: 0,
+			Class: fabric.ClassBulk, MeanGap: 2 * sim.Microsecond,
+			TrackEvery: 4, Seed: sc.Seed,
+		}}
 	}
 	if sc.Faults != "" {
 		plan, err := fault.ParsePlan(sc.Faults)
@@ -75,5 +107,10 @@ func (sc ClusterScenario) RunShards(shards, workers int) string {
 	}
 	st := c.FaultStats()
 	fp += fmt.Sprintf(" injected=%d", st.Total())
+	// Switch- and flow-level results are model outputs too: per-port
+	// forwarding counters and the tracked flow tail must survive
+	// re-partitioning byte-for-byte.
+	fp += fmt.Sprintf(" fwd=%d drop=%d fsent=%d fdel=%d fp99=%d",
+		r.Forwarded, r.Dropped, r.FlowSent, r.FlowDelivered, r.FlowP99)
 	return fp
 }

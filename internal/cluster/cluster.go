@@ -1,38 +1,42 @@
 // Package cluster models a multi-host CC-NIC deployment: M member nodes,
 // each a complete host + NIC pipeline on its own simulation kernel, coupled
-// *only* through a datacenter fabric with a declared minimum latency. That
-// coupling structure is exactly what the parallel shard runtime
-// (internal/sim/shard) needs: each node (or group of nodes) becomes one
-// shard, the fabric's wire latency plus the PCIe attach's one-way
-// propagation is the conservative lookahead, and all cross-node traffic
-// crosses shards through bounded Link FIFOs.
+// *only* through a modeled switched fabric (internal/fabric). Each node (or
+// group of nodes) is one shard of the parallel runtime, the switch is its
+// own shard, and the host↔switch hop propagation plus the PCIe attach's
+// one-way latency is the conservative lookahead. All cross-node traffic —
+// including between nodes that share a shard — crosses the switch, where it
+// is routed, queued per (source, class), and scheduled by deficit round
+// robin (or FIFO, for ablations) against the port bandwidth.
 //
 // The node model is behavioural and deliberately fine-grained in events —
 // per-cacheline payload movement, per-stage pipeline costs from the
 // platform calibration — so a cluster run exercises the simulator the way
-// the single-machine experiments do, at multi-socket scale.
+// the single-machine experiments do, at multi-socket scale. On top of the
+// closed-loop RPC application, aggregated open-loop tenant flows (flows.go)
+// model large client populations without per-client processes.
 //
 // # Partition invariance
 //
 // A cluster's results are bit-identical for every shard count and every
-// worker count. Worker invariance comes from the shard engine. Partition
-// invariance (the same cluster cut into 1, 2, or 4 shards) is a property
-// of this model, maintained by construction:
+// worker count. Worker invariance comes from the shard engine; switch-level
+// invariance from internal/fabric's strict-timestamp scheduling; the rest is
+// a property of this model, maintained by construction:
 //
-//   - every timing perturbation (fault draws, service jitter) is drawn on
-//     the *sending* node, in request-sequence order, from that node's own
-//     injector stream (fault.Plan.ForShard keyed by the stable node id) —
-//     never in arrival order, which differs between partitions;
+//   - every timing perturbation (fault draws, service jitter, flow
+//     interarrivals and sizes) is drawn on the *sending* node, in sequence
+//     order, from that sender's own stream (fault.Plan.ForShard keyed by the
+//     stable node id; per-generator seeded rngs) — never in arrival order,
+//     which differs between partitions;
 //   - arrival-side handling is per-message (one process per delivery) with
-//     no order-sensitive shared resources: response egress is modeled as
-//     fixed serialization, and window accounting is count-based, so
-//     same-instant arrivals commute.
+//     no order-sensitive shared resources: window accounting, flow counters,
+//     and histogram records all commute across same-instant arrivals.
 package cluster
 
 import (
 	"fmt"
 	"strings"
 
+	"ccnic/internal/fabric"
 	"ccnic/internal/fault"
 	"ccnic/internal/interconn"
 	"ccnic/internal/pcie"
@@ -42,17 +46,44 @@ import (
 	"ccnic/internal/stats"
 )
 
+// Pattern selects the closed-loop application's destination pattern.
+type Pattern uint8
+
+const (
+	// PatternSpread: node i's request seq goes to (seq mod (hosts-1)),
+	// skipping itself — uniform all-to-all.
+	PatternSpread Pattern = iota
+	// PatternIncast: every node sends to host 0, which only serves — the
+	// fan-in congestion shape of the fabric-incast experiment.
+	PatternIncast
+)
+
+// Signal selects the host→NIC signaling model, the axis of the
+// fabric-crossover experiment (Fig. 21's method under fabric contention).
+type Signal uint8
+
+const (
+	// SignalCCNIC: coherent doorbell — a dirty-line handoff (LocalFwd)
+	// and an LLC-speed descriptor fetch.
+	SignalCCNIC Signal = iota
+	// SignalPCIe: conventional attach — a posted MMIO doorbell write and
+	// a device-initiated descriptor DMA round trip.
+	SignalPCIe
+)
+
 // Config describes a cluster.
 type Config struct {
 	// Hosts is the number of member nodes (>= 2; default 4).
 	Hosts int
 	// Shards is the number of shards the node set is partitioned into:
-	// nodes are grouped contiguously, ceil(Hosts/Shards) per shard.
-	// 0 defaults to one shard per node (the finest partition). Results
-	// are bit-identical for every value.
+	// nodes are grouped contiguously, ceil(Hosts/Shards) per shard. The
+	// switch always runs as one additional shard of its own. 0 defaults
+	// to one shard per node (the finest partition). Results are
+	// bit-identical for every value.
 	Shards int
 	// Workers is the shard engine's worker-goroutine budget (0 defaults
-	// to Shards; 1 is fully serial). Never affects results.
+	// to Shards+1, one per shard including the switch; 1 is fully
+	// serial). Never affects results.
 	Workers int
 	// Plat selects the member platform (nil = ICX).
 	Plat *platform.Platform
@@ -63,18 +94,41 @@ type Config struct {
 	// a storage/RDMA-class transfer: payload movement then dominates the
 	// event mix, as it does on real fabrics).
 	ReqSize int
+	// Pattern selects the request destination pattern (default spread).
+	Pattern Pattern
+	// Signaling selects the host→NIC signaling model (default CC-NIC).
+	Signaling Signal
+	// FabricFIFO disables the switch's DRR fair queuing (ablation: egress
+	// serves strictly in arrival order).
+	FabricFIFO bool
+	// FlowCap overrides the switch's per-(source, class) egress queue
+	// bound, in packets (0 = fabric default).
+	FlowCap int
+	// Flows arms aggregated open-loop tenant flow generators (flows.go).
+	Flows []FlowSpec
 	// Faults optionally arms fault injection; each node derives its own
 	// stream with Faults.ForShard(node id), so schedules are reproducible
 	// regardless of Shards and Workers.
 	Faults *fault.Plan
 }
 
-// Message is one RPC (or its response) crossing the fabric.
+// Message is one RPC (or its response, or one open-loop flow packet)
+// crossing the fabric.
 type Message struct {
 	From, To int
 	Seq      int64
 	Resp     bool
-	Sent     sim.Time // request issue instant, for end-to-end latency
+	Sent     sim.Time // issue instant, for end-to-end latency
+	Bytes    int
+	Class    fabric.Class
+
+	// Flow is 0 for closed-loop RPC traffic, or 1 + the FlowSpec index.
+	Flow int
+	// Tenant is the Zipf-drawn tenant id of a flow packet.
+	Tenant int
+	// Tracked marks the sampled tail of a flow: only tracked packets get
+	// a response and a latency record (per-flow state stays O(samples)).
+	Tracked bool
 
 	// Sender-drawn perturbations (see the package comment): a TX pipeline
 	// stall and egress latency spike for the request, a service-side
@@ -83,7 +137,8 @@ type Message struct {
 }
 
 // Node is one cluster member: a host core issuing RPCs, a NIC TX pipeline,
-// and per-message RX/service handling, all on the node's kernel.
+// per-message RX/service handling, and any flow generators, all on the
+// node's kernel.
 type Node struct {
 	id  int
 	c   *Cluster
@@ -109,19 +164,23 @@ type Node struct {
 	// Results (deterministic).
 	Sent, Served, Done int64
 	Lat                stats.Histogram
+	// Flow-side results: packets this node generated, and the tracked
+	// round-trip tail measured back at this node.
+	FlowSent int64
+	FlowLat  stats.Histogram
 }
 
 // Cluster is an assembled multi-host simulation.
 type Cluster struct {
 	Engine *shard.Engine
 	Nodes  []*Node
+	Switch *fabric.Switch
 
 	cfg       Config
 	plat      *platform.Platform
 	fabric    platform.FabricParams
-	lookahead sim.Time
-	nodeShard []int           // node id -> shard id
-	links     [][]*shard.Link // [src shard][dst shard]; nil on the diagonal
+	nodeShard []int // node id -> shard id
+	flows     []flowAgg
 }
 
 // New assembles a cluster. It panics on invalid configurations, matching
@@ -137,7 +196,7 @@ func New(cfg Config) *Cluster {
 		cfg.Shards = cfg.Hosts
 	}
 	if cfg.Workers <= 0 {
-		cfg.Workers = cfg.Shards
+		cfg.Workers = cfg.Shards + 1 // host shards plus the switch shard
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 32
@@ -186,41 +245,48 @@ func New(cfg Config) *Cluster {
 		c.Nodes = append(c.Nodes, n)
 	}
 
-	// The fabric lookahead: one wire crossing plus the destination's PCIe
-	// attach. Every fabric delay is at least this, so it bounds how far
-	// apart two shards' clocks may drift.
-	c.lookahead = c.fabric.WireLat + c.Nodes[0].ep.MinLatency()
-
-	// One link per ordered shard pair; capacity sized to the worst-case
-	// in-flight population (requests + responses of every node pair that
-	// maps onto the pair of shards) so a correct run can never overflow,
-	// while a runaway producer still trips the bound.
-	capacity := 4*cfg.Window*group*group + 64
-	c.links = make([][]*shard.Link, cfg.Shards)
-	for a := range c.links {
-		c.links[a] = make([]*shard.Link, cfg.Shards)
-		for b := range c.links[a] {
-			if a == b {
-				continue
-			}
-			c.links[a][b] = c.Engine.Connect(shards[a], shards[b], c.lookahead, capacity,
-				func(p *sim.Proc, payload any) { c.receive(p, payload.(Message)) })
+	// The switch, on its own shard. Each attach hop's latency — the
+	// declared lookahead — is the wire propagation plus the node's PCIe
+	// attach one-way time, crossed once in each direction. The DRR byte
+	// quantum covers a few RPCs per round but never less than a bulk
+	// MTU's worth of progress.
+	quantum := 2 * cfg.ReqSize
+	if quantum < 4096 {
+		quantum = 4096
+	}
+	c.Switch = fabric.New(c.Engine, "fabric", fabric.Config{
+		Ports:    cfg.Hosts,
+		BW:       c.fabric.BW,
+		HopLat:   c.fabric.HopLat + c.Nodes[0].ep.MinLatency(),
+		RouteLat: c.fabric.RouteLat,
+		SchedLat: c.fabric.SchedLat,
+		FlowCap:  cfg.FlowCap,
+		FIFO:     cfg.FabricFIFO,
+		Quantum:  quantum,
+	})
+	for i := range c.Nodes {
+		if port := c.Switch.Attach(c.Engine, i, shards[c.nodeShard[i]],
+			func(p *sim.Proc, pkt fabric.Packet) { c.receive(p, pkt.Payload.(Message)) },
+		); port != i {
+			panic("cluster: switch port assignment out of order")
 		}
 	}
 
+	c.startFlows()
 	for _, n := range c.Nodes {
 		n.start()
 	}
 	return c
 }
 
-// Lookahead returns the declared fabric lookahead between shards.
-func (c *Cluster) Lookahead() sim.Time { return c.lookahead }
+// Lookahead returns the declared per-hop fabric lookahead (host↔switch).
+func (c *Cluster) Lookahead() sim.Time { return c.Switch.HopLatency() }
 
 // Run advances the whole cluster to virtual time until.
 func (c *Cluster) Run(until sim.Time) error { return c.Engine.Run(until) }
 
-// Events returns the total executed event count across all member kernels.
+// Events returns the total executed event count across all member kernels
+// (including the switch shard).
 func (c *Cluster) Events() uint64 {
 	var total uint64
 	for _, s := range c.Engine.Shards() {
@@ -229,19 +295,12 @@ func (c *Cluster) Events() uint64 {
 	return total
 }
 
-// send routes a message from node `from` to node m.To, delay after now.
-// Cross-shard traffic goes through the declared fabric boundary; same-shard
-// traffic (coarser partitions) takes an equivalent local path with
-// identical timing, so the partition never shows through in results.
-func (c *Cluster) send(p *sim.Proc, from int, delay sim.Time, m Message) {
-	ss, ds := c.nodeShard[from], c.nodeShard[m.To]
-	if ss != ds {
-		c.links[ss][ds].Send(p, delay, m)
-		return
-	}
-	p.Kernel().Spawn("fabric.local", func(q *sim.Proc) {
-		q.Sleep(delay)
-		c.receive(q, m)
+// send pushes a message into the switch from node `from`, with any
+// sender-side extra delay (egress serialization, drawn spikes) on top of
+// the hop propagation. All traffic — same-shard or not — takes this path.
+func (c *Cluster) send(p *sim.Proc, from int, extra sim.Time, m Message) {
+	c.Switch.Ingress(p, extra, fabric.Packet{
+		Src: from, Dst: m.To, Class: m.Class, Bytes: m.Bytes, Payload: m,
 	})
 }
 
@@ -251,9 +310,23 @@ func (c *Cluster) lineTime() sim.Time {
 	return sim.Time(float64(platform.CacheLine) / c.plat.CoreStreamBW * float64(sim.Nanosecond))
 }
 
-// fabricSer is the wire serialization time of one payload.
-func (c *Cluster) fabricSer(bytes int) sim.Time {
+// nicSer is the node NIC's own egress serialization time for one payload at
+// the fabric line rate: the switch charges the same rate again at its
+// egress port, as a real store-and-forward hop does.
+func (c *Cluster) nicSer(bytes int) sim.Time {
 	return sim.Time(float64(bytes) / c.fabric.BW * float64(sim.Nanosecond))
+}
+
+// signalCosts returns the doorbell and descriptor-fetch costs of the
+// configured host→NIC signaling model.
+func (c *Cluster) signalCosts() (doorbell, descFetch sim.Time) {
+	switch c.cfg.Signaling {
+	case SignalCCNIC:
+		return c.plat.LocalFwd, c.plat.LLCHit
+	case SignalPCIe:
+		return c.plat.PCIe.OneWay, c.plat.PCIe.DMARoundTrip
+	}
+	panic(fmt.Sprintf("cluster: unknown signaling model %d", c.cfg.Signaling))
 }
 
 // svcJitter derives a deterministic per-request service-time variation from
@@ -274,6 +347,13 @@ func (n *Node) start() {
 	hosts := n.c.cfg.Hosts
 	window := n.c.cfg.Window
 	reqSize := n.c.cfg.ReqSize
+	incast := n.c.cfg.Pattern == PatternIncast
+	doorbell, descFetch := n.c.signalCosts()
+
+	if incast && n.id == 0 {
+		// The incast sink only serves; it issues no requests of its own.
+		return
+	}
 
 	n.k.Spawn(fmt.Sprintf("n%d.app", n.id), func(p *sim.Proc) {
 		for {
@@ -284,11 +364,18 @@ func (n *Node) start() {
 			n.seq++
 			// Destination is a pure function of the sequence number, so
 			// the request stream never depends on completion order.
-			dst := int(seq) % (hosts - 1)
-			if dst >= n.id {
-				dst++
+			dst := 0
+			if !incast {
+				dst = int(seq) % (hosts - 1)
+				if dst >= n.id {
+					dst++
+				}
 			}
-			m := Message{From: n.id, To: dst, Seq: seq, svcDelay: svcJitter(n.id, seq)}
+			m := Message{
+				From: n.id, To: dst, Seq: seq,
+				Bytes: reqSize, Class: fabric.ClassRPC,
+				svcDelay: svcJitter(n.id, seq),
+			}
 			// All fault draws for this RPC's lifetime happen here, on
 			// the sender, in sequence order (partition invariance).
 			if st := n.flt.PipelineStall(); st > 0 {
@@ -303,9 +390,9 @@ func (n *Node) start() {
 			if spike, _ := n.flt.LinkFault(); spike > 0 {
 				m.respSpike = spike
 			}
-			p.Sleep(plat.L2Hit)    // buffer alloc from the node pool
-			p.Sleep(plat.L2Hit)    // header fill
-			p.Sleep(plat.LocalFwd) // coherent doorbell: dirty line handoff
+			p.Sleep(plat.L2Hit)  // buffer alloc from the node pool
+			p.Sleep(plat.L2Hit)  // header fill
+			p.Sleep(doorbell)    // host→NIC signal (CC-NIC or PCIe model)
 			m.Sent = p.Now()
 			n.txq = append(n.txq, m)
 			n.Sent++
@@ -327,7 +414,7 @@ func (n *Node) start() {
 				n.txq = n.txq[:0]
 				n.txHead = 0
 			}
-			p.Sleep(plat.LLCHit) // descriptor fetch
+			p.Sleep(descFetch) // descriptor fetch (LLC hit or DMA round trip)
 			// Pull the payload across the node's host-NIC interconnect,
 			// one cacheline at a time (bandwidth-limited via the link's
 			// occupancy tracking).
@@ -337,8 +424,7 @@ func (n *Node) start() {
 			if m.txStall > 0 {
 				p.Sleep(m.txStall) // drawn TX pipeline stall
 			}
-			delay := n.c.lookahead + n.c.fabricSer(reqSize) + m.txSpike
-			n.c.send(p, n.id, delay, m)
+			n.c.send(p, n.id, n.c.nicSer(reqSize)+m.txSpike, m)
 		}
 	})
 }
@@ -349,6 +435,10 @@ func (c *Cluster) receive(p *sim.Proc, m Message) {
 	n := c.Nodes[m.To]
 	plat := c.plat
 	p.Sleep(plat.LLCHit) // DDIO deposit + descriptor write
+	if m.Flow > 0 {
+		c.receiveFlow(p, n, m)
+		return
+	}
 	if m.Resp {
 		n.Lat.Record(p.Now() - m.Sent)
 		n.Done++
@@ -365,10 +455,12 @@ func (c *Cluster) receive(p *sim.Proc, m Message) {
 	}
 	p.Sleep(plat.LLCHit + m.svcDelay)
 	n.Served++
-	resp := Message{From: m.To, To: m.From, Seq: m.Seq, Resp: true, Sent: m.Sent}
+	resp := Message{
+		From: m.To, To: m.From, Seq: m.Seq, Resp: true, Sent: m.Sent,
+		Bytes: c.cfg.ReqSize, Class: fabric.ClassRPC,
+	}
 	p.Sleep(plat.L2Hit) // response header
-	delay := c.lookahead + c.fabricSer(c.cfg.ReqSize) + m.respSpike
-	c.send(p, m.To, delay, resp)
+	c.send(p, m.To, c.nicSer(c.cfg.ReqSize)+m.respSpike, resp)
 }
 
 // Report summarizes a run. All fields are deterministic functions of the
@@ -380,17 +472,29 @@ type Report struct {
 	Events             uint64
 	Now                sim.Time
 	P50, P99           sim.Time
+
+	// Open-loop flow results (zero when no flows are armed).
+	FlowSent, FlowDelivered, FlowBytes int64
+	FlowP50, FlowP99                   sim.Time
+	TenantsSeen                        int
+	TopTenantShare                     float64
+
+	// Switch-level results.
+	Forwarded, Dropped int64
+	FabricSummary      string
 }
 
 // Report aggregates the cluster's counters.
 func (c *Cluster) Report() Report {
 	r := Report{Hosts: c.cfg.Hosts, Shards: c.cfg.Shards}
-	var lat stats.Histogram
+	var lat, flowLat stats.Histogram
 	for _, n := range c.Nodes {
 		r.Sent += n.Sent
 		r.Served += n.Served
 		r.Done += n.Done
+		r.FlowSent += n.FlowSent
 		lat.Merge(&n.Lat)
+		flowLat.Merge(&n.FlowLat)
 		if now := n.k.Now(); now > r.Now {
 			r.Now = now
 		}
@@ -398,6 +502,31 @@ func (c *Cluster) Report() Report {
 	r.Events = c.Events()
 	r.P50 = lat.Median()
 	r.P99 = lat.Percentile(0.99)
+	r.FlowP50 = flowLat.Median()
+	r.FlowP99 = flowLat.Percentile(0.99)
+
+	var topTenant int64
+	for i := range c.flows {
+		f := &c.flows[i]
+		r.FlowDelivered += f.delivered
+		r.FlowBytes += f.bytes
+		for _, cnt := range f.tenants {
+			if cnt > 0 {
+				r.TenantsSeen++
+			}
+			if cnt > topTenant {
+				topTenant = cnt
+			}
+		}
+	}
+	if r.FlowDelivered > 0 {
+		r.TopTenantShare = float64(topTenant) / float64(r.FlowDelivered)
+	}
+
+	st := c.Switch.Stats()
+	r.Forwarded = st.Forwarded()
+	r.Dropped = st.Drops()
+	r.FabricSummary = st.String()
 	return r
 }
 
@@ -408,6 +537,12 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "cluster: %d hosts, %d RPCs done (%d sent, %d served) at %v\n",
 		r.Hosts, r.Done, r.Sent, r.Served, r.Now)
 	fmt.Fprintf(&b, "latency: p50 %v  p99 %v\n", r.P50, r.P99)
+	fmt.Fprintf(&b, "%s\n", r.FabricSummary)
+	if r.FlowSent > 0 {
+		fmt.Fprintf(&b, "flows: %d sent, %d delivered (%.1f MB), tracked p50 %v  p99 %v, %d tenants (top %.1f%%)\n",
+			r.FlowSent, r.FlowDelivered, float64(r.FlowBytes)/1e6,
+			r.FlowP50, r.FlowP99, r.TenantsSeen, 100*r.TopTenantShare)
+	}
 	return b.String()
 }
 

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"ccnic/internal/fabric"
+	"ccnic/internal/sim"
+)
+
+// rpcP99Under runs a 3-host incast (nodes 1 and 2 issue small RPCs to host
+// 0) with an optional saturating bulk flow aimed at the same host, and
+// returns the application RPC p99.
+func rpcP99Under(t *testing.T, bulk, fifo bool) sim.Time {
+	t.Helper()
+	cfg := Config{
+		Hosts:      3,
+		Shards:     3,
+		Window:     8,
+		ReqSize:    512,
+		Pattern:    PatternIncast,
+		FabricFIFO: fifo,
+	}
+	if bulk {
+		// One generator on host 2 emitting 8KiB packets every 300ns:
+		// ~2.2x the egress port's line rate on its own, a saturating
+		// backlog on host 0's port for the whole run.
+		cfg.Flows = []FlowSpec{{
+			Name: "bulk", Srcs: []int{2}, Dst: 0,
+			Class: fabric.ClassBulk, Bytes: 8192,
+			MeanGap: 300 * sim.Nanosecond, Seed: 11,
+		}}
+	}
+	c := New(cfg)
+	if err := c.Run(400 * sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	if r.Done == 0 {
+		t.Fatalf("no RPCs completed (bulk=%v fifo=%v):\n%s", bulk, fifo, r)
+	}
+	return r.P99
+}
+
+// TestFairnessBoundsRPCTail is the fairness property of the ISSUE: with DRR
+// fair queuing, a saturating bulk flow may not push small-RPC p99 beyond a
+// fixed multiple of the idle-fabric baseline — while the FIFO ablation
+// blows through the same bound, demonstrating the test has teeth.
+func TestFairnessBoundsRPCTail(t *testing.T) {
+	const bound = 3 // loaded p99 may be at most 3x the idle p99
+	idle := rpcP99Under(t, false, false)
+	if idle == 0 {
+		t.Fatal("idle baseline recorded no latency")
+	}
+	drr := rpcP99Under(t, true, false)
+	fifo := rpcP99Under(t, true, true)
+	t.Logf("rpc p99: idle=%v drr=%v fifo=%v", idle, drr, fifo)
+	if drr > bound*idle {
+		t.Fatalf("DRR does not bound the RPC tail: loaded p99 %v > %d x idle p99 %v",
+			drr, bound, idle)
+	}
+	if fifo <= bound*idle {
+		t.Fatalf("FIFO unexpectedly within the bound (p99 %v <= %d x %v): the fairness property is vacuous",
+			fifo, bound, idle)
+	}
+}
+
+// flowFingerprint exercises the full fabric surface — open-loop tenant
+// flows (both size mixes), incast app traffic, and the chosen scheduling
+// mode — and returns the cluster fingerprint.
+func flowFingerprint(t *testing.T, shards, workers int, fifo bool) string {
+	t.Helper()
+	cfg := Config{
+		Hosts:      4,
+		Shards:     shards,
+		Workers:    workers,
+		Window:     8,
+		ReqSize:    1024,
+		Pattern:    PatternIncast,
+		FabricFIFO: fifo,
+		Flows: []FlowSpec{
+			{Name: "ads", Srcs: []int{1, 2}, Dst: 0, Class: fabric.ClassRPC,
+				Dist: "ads", MeanGap: 600 * sim.Nanosecond, Tenants: 32,
+				TrackEvery: 8, Seed: 5},
+			{Name: "bulk", Srcs: []int{3}, Dst: 1, Class: fabric.ClassBulk,
+				Dist: "geo", MeanGap: 500 * sim.Nanosecond, Tenants: 16,
+				TrackEvery: 16, Seed: 9},
+		},
+	}
+	c := New(cfg)
+	until := 300 * sim.Microsecond
+	if testing.Short() {
+		until = 80 * sim.Microsecond
+	}
+	if err := c.Run(until); err != nil {
+		t.Fatal(err)
+	}
+	return c.Report().String()
+}
+
+// TestFlowShardCountInvariance: flows, tenants, and switch queuing are all
+// bit-identical across partitions and worker counts, in both scheduling
+// modes.
+func TestFlowShardCountInvariance(t *testing.T) {
+	for _, fifo := range []bool{false, true} {
+		ref := flowFingerprint(t, 1, 1, fifo)
+		if !strings.Contains(ref, "flows:") {
+			t.Fatalf("fingerprint missing flow results:\n%s", ref)
+		}
+		for _, tc := range []struct{ shards, workers int }{{2, 1}, {2, 3}, {4, 2}, {4, 5}} {
+			if got := flowFingerprint(t, tc.shards, tc.workers, fifo); got != ref {
+				t.Fatalf("fifo=%v shards=%d workers=%d diverges:\n--- ref\n%s--- got\n%s",
+					fifo, tc.shards, tc.workers, ref, got)
+			}
+		}
+	}
+}
+
+// TestFlowRunTwiceDeterminism: the full flow scenario reproduces itself.
+func TestFlowRunTwiceDeterminism(t *testing.T) {
+	a := flowFingerprint(t, 4, 4, false)
+	if b := flowFingerprint(t, 4, 4, false); a != b {
+		t.Fatalf("run-twice divergence:\n--- first\n%s--- second\n%s", a, b)
+	}
+}
+
+// TestTenantSkew: the Zipf tenant draw concentrates traffic (the top tenant
+// carries well above a uniform share) and the tracked tail is measured.
+func TestTenantSkew(t *testing.T) {
+	cfg := Config{
+		Hosts: 2, Shards: 2, Window: 4, ReqSize: 512,
+		Flows: []FlowSpec{{
+			Name: "t", Srcs: []int{1}, Dst: 0, Class: fabric.ClassRPC,
+			Bytes: 512, MeanGap: 400 * sim.Nanosecond, Tenants: 64,
+			ZipfS: 0.9, TrackEvery: 4, Seed: 3,
+		}},
+	}
+	c := New(cfg)
+	if err := c.Run(400 * sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	if r.FlowDelivered == 0 {
+		t.Fatalf("no flow packets delivered:\n%s", r)
+	}
+	uniform := 1.0 / 64
+	if r.TopTenantShare < 2*uniform {
+		t.Fatalf("top tenant share %.3f not skewed above uniform %.3f", r.TopTenantShare, uniform)
+	}
+	if r.TenantsSeen < 8 {
+		t.Fatalf("only %d tenants seen", r.TenantsSeen)
+	}
+	if r.FlowP99 == 0 {
+		t.Fatalf("tracked tail unmeasured:\n%s", r)
+	}
+}
+
+// TestSignalingGap: at idle, PCIe doorbell signaling costs strictly more
+// end-to-end than the coherent CC-NIC path — the contrast the crossover
+// experiment sweeps under contention.
+func TestSignalingGap(t *testing.T) {
+	run := func(s Signal) sim.Time {
+		c := New(Config{Hosts: 2, Shards: 2, Window: 1, ReqSize: 512, Signaling: s})
+		if err := c.Run(300 * sim.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+		r := c.Report()
+		if r.Done == 0 {
+			t.Fatal("no completions")
+		}
+		return r.P50
+	}
+	ccnic, pcieLat := run(SignalCCNIC), run(SignalPCIe)
+	if pcieLat <= ccnic {
+		t.Fatalf("PCIe signaling p50 %v not above CC-NIC %v", pcieLat, ccnic)
+	}
+}

@@ -21,6 +21,10 @@ import (
 // by tests and benchmarks); full mode reproduces the paper's axes.
 type Options struct {
 	Quick bool
+	// FabricPorts caps the fabric experiments' switch fan-in sweep (0 =
+	// the experiments' own defaults). Set by ccbench -ports; refused on
+	// golden/hash runs, which pin the default geometry.
+	FabricPorts int
 }
 
 // SeriesGroup is one panel of a figure.

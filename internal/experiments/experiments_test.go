@@ -18,6 +18,8 @@ func TestRegistryComplete(t *testing.T) {
 		"faults-rate", "faults-recovery",
 		// Cross-protocol design-space sweep (CXL backend).
 		"proto-sweep",
+		// Switched-fabric family (internal/fabric).
+		"fabric-incast", "fabric-isolation", "fabric-crossover",
 	}
 	for _, id := range want {
 		e := ByID(id)

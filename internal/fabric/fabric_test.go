@@ -1,0 +1,292 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"ccnic/internal/sim"
+	"ccnic/internal/sim/shard"
+)
+
+// delivery is one packet observed at its destination host.
+type delivery struct {
+	at    sim.Time
+	src   int
+	seq   int
+	class Class
+}
+
+// harness builds a switch with hosts spread over hostShards shards (round
+// robin) and records every delivery. Deliveries are recorded per destination
+// host: host i's slice is only ever appended from host i's shard, so the
+// harness is race-free at any worker count.
+type harness struct {
+	eng   *shard.Engine
+	sw    *Switch
+	hosts []*shard.Shard // per host, its shard
+	recv  [][]delivery   // per destination host
+}
+
+func newHarness(t *testing.T, hosts, hostShards, workers int, cfg Config) *harness {
+	t.Helper()
+	h := &harness{
+		eng:  shard.NewEngine(workers),
+		recv: make([][]delivery, hosts),
+	}
+	shards := make([]*shard.Shard, hostShards)
+	for i := range shards {
+		shards[i] = h.eng.NewShard(fmt.Sprintf("hs%d", i), sim.New())
+	}
+	cfg.Ports = hosts
+	h.sw = New(h.eng, "sw", cfg)
+	for i := 0; i < hosts; i++ {
+		hs := shards[i%hostShards]
+		h.hosts = append(h.hosts, hs)
+		dst := i
+		h.sw.Attach(h.eng, dst, hs, func(p *sim.Proc, pkt Packet) {
+			h.recv[dst] = append(h.recv[dst], delivery{
+				at: p.Now(), src: pkt.Src, seq: pkt.Payload.(int), class: pkt.Class,
+			})
+		})
+	}
+	return h
+}
+
+// sender spawns a process on host src that sends count packets of the given
+// size and class to dst, one every gap (first send at t=0).
+func (h *harness) sender(src, dst, count, bytes int, class Class, gap sim.Time) {
+	k := h.hosts[src].Kernel()
+	sw := h.sw
+	k.Spawn(fmt.Sprintf("send%d", src), func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			sw.Ingress(p, 0, Packet{Src: src, Dst: dst, Class: class, Bytes: bytes, Payload: i})
+			p.Sleep(gap)
+		}
+	})
+}
+
+// all returns every delivery, flattened in destination order.
+func (h *harness) all() []delivery {
+	var out []delivery
+	for _, ds := range h.recv {
+		out = append(out, ds...)
+	}
+	return out
+}
+
+// fingerprint renders deliveries in a partition-independent order: per
+// destination, sorted by (time, source, sequence).
+func (h *harness) fingerprint() string {
+	var b strings.Builder
+	for dst, ds := range h.recv {
+		ds := append([]delivery(nil), ds...)
+		sort.SliceStable(ds, func(a, b int) bool {
+			if ds[a].at != ds[b].at {
+				return ds[a].at < ds[b].at
+			}
+			if ds[a].src != ds[b].src {
+				return ds[a].src < ds[b].src
+			}
+			return ds[a].seq < ds[b].seq
+		})
+		for _, d := range ds {
+			fmt.Fprintf(&b, "%d<-%d #%d c%d @%d\n", dst, d.src, d.seq, d.class, d.at)
+		}
+	}
+	b.WriteString(h.sw.Stats().String())
+	return b.String()
+}
+
+func baseCfg() Config {
+	return Config{
+		BW:       12.5,
+		HopLat:   300 * sim.Nanosecond,
+		RouteLat: 150 * sim.Nanosecond,
+		SchedLat: 25 * sim.Nanosecond,
+	}
+}
+
+func TestRoutingDelivers(t *testing.T) {
+	h := newHarness(t, 4, 4, 1, baseCfg())
+	h.sender(0, 1, 3, 256, ClassRPC, sim.Microsecond)
+	h.sender(2, 3, 3, 256, ClassRPC, sim.Microsecond)
+	if err := h.eng.Run(10 * sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.all()); got != 6 {
+		t.Fatalf("delivered %d packets, want 6", got)
+	}
+	if len(h.recv[1]) != 3 || len(h.recv[3]) != 3 {
+		t.Fatalf("misrouted: host1 got %d, host3 got %d", len(h.recv[1]), len(h.recv[3]))
+	}
+	// Floor: two hops + routing + serialization; arbitration adds more.
+	floor := 2*300*sim.Nanosecond + 150*sim.Nanosecond + h.sw.SerTime(256)
+	for _, d := range h.all() {
+		if d.at < floor {
+			t.Fatalf("delivery at %v beats the physical floor %v", d.at, floor)
+		}
+	}
+	st := h.sw.Stats()
+	if st.Forwarded() != 6 || st.Drops() != 0 {
+		t.Fatalf("stats: %s", st)
+	}
+}
+
+// TestDRRFairness: a saturating bulk source and a paced RPC source share one
+// egress port. Under DRR the RPC queue drains at its offered rate; under
+// FIFO the same RPC packets sit behind the whole bulk backlog.
+func TestDRRFairness(t *testing.T) {
+	for _, fifo := range []bool{false, true} {
+		cfg := baseCfg()
+		cfg.FIFO = fifo
+		cfg.FlowCap = 1 << 14
+		h := newHarness(t, 3, 3, 1, cfg)
+		// Bulk: 8KiB packets every 100ns (oversubscribes the 12.5 B/ns port
+		// by ~6.5x). RPC: 256B every 2us — trivial load on the same port.
+		h.sender(0, 2, 4000, 8192, ClassBulk, 100*sim.Nanosecond)
+		h.sender(1, 2, 100, 256, ClassRPC, 2*sim.Microsecond)
+		if err := h.eng.Run(400 * sim.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+		var worstRPC sim.Time
+		rpcSeen := 0
+		for _, d := range h.recv[2] {
+			if d.class != ClassRPC {
+				continue
+			}
+			rpcSeen++
+			// The sender emits RPC seq i at exactly i*2us.
+			lat := d.at - sim.Time(d.seq)*2*sim.Microsecond
+			if lat > worstRPC {
+				worstRPC = lat
+			}
+		}
+		if rpcSeen == 0 {
+			t.Fatalf("fifo=%v: no RPC packets delivered", fifo)
+		}
+		// Idle-fabric RPC latency is ~800ns. Under DRR the worst extra wait
+		// is bounded by a bulk packet's serialization plus arbitration.
+		bound := 4 * sim.Microsecond
+		if !fifo && worstRPC > bound {
+			t.Fatalf("DRR: worst RPC latency %v exceeds bound %v", worstRPC, bound)
+		}
+		if fifo && worstRPC <= bound {
+			t.Fatalf("FIFO: worst RPC latency %v unexpectedly within the DRR bound %v", worstRPC, bound)
+		}
+	}
+}
+
+func TestBoundedOccupancyDrops(t *testing.T) {
+	cfg := baseCfg()
+	cfg.FlowCap = 8
+	h := newHarness(t, 2, 2, 1, cfg)
+	// 1000 large packets sent nearly back-to-back into a FlowCap of 8.
+	h.sender(0, 1, 1000, 8192, ClassBulk, 10*sim.Nanosecond)
+	if err := h.eng.Run(2 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	st := h.sw.Stats()
+	if st.Drops() == 0 {
+		t.Fatalf("expected tail drops with FlowCap=8, got none: %s", st)
+	}
+	if st.Forwarded() == 0 {
+		t.Fatalf("nothing forwarded: %s", st)
+	}
+	for p := range st.Ports {
+		if err := h.sw.CheckPort(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := int64(len(h.all())); got != st.Forwarded() {
+		t.Fatalf("delivered %d != forwarded %d", got, st.Forwarded())
+	}
+}
+
+func TestFIFOOrderPerSource(t *testing.T) {
+	cfg := baseCfg()
+	cfg.FIFO = true
+	h := newHarness(t, 2, 2, 1, cfg)
+	h.sender(0, 1, 50, 1024, ClassRPC, 50*sim.Nanosecond)
+	if err := h.eng.Run(sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.recv[1]) != 50 {
+		t.Fatalf("delivered %d, want 50", len(h.recv[1]))
+	}
+	for i, d := range h.recv[1] {
+		if d.seq != i {
+			t.Fatalf("out-of-order delivery: position %d carries seq %d", i, d.seq)
+		}
+	}
+}
+
+// contendedScenario drives 7 senders (mixed classes, fan-in on host 0, with
+// drops) plus reverse traffic, and returns the fingerprint.
+func contendedScenario(t *testing.T, hostShards, workers int, fifo bool) string {
+	t.Helper()
+	cfg := baseCfg()
+	cfg.FIFO = fifo
+	cfg.FlowCap = 32
+	h := newHarness(t, 8, hostShards, workers, cfg)
+	for src := 1; src < 8; src++ {
+		class := ClassRPC
+		bytes := 512
+		if src%2 == 0 {
+			class = ClassBulk
+			bytes = 8192
+		}
+		// Offset each source's phase so arrivals interleave densely.
+		gap := sim.Time(200+37*src) * sim.Nanosecond
+		h.sender(src, 0, 300, bytes, class, gap)
+	}
+	// Host 0 also talks back to host 1: both directions cross the switch.
+	h.sender(0, 1, 100, 256, ClassRPC, 700*sim.Nanosecond)
+	if err := h.eng.Run(500 * sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	return h.fingerprint()
+}
+
+// TestPartitionInvariance: the same contended scenario must be bit-identical
+// for every host partition and worker count — the package's core guarantee.
+func TestPartitionInvariance(t *testing.T) {
+	for _, fifo := range []bool{false, true} {
+		ref := contendedScenario(t, 1, 1, fifo)
+		for _, tc := range []struct{ shards, workers int }{
+			{2, 1}, {4, 2}, {8, 4}, {8, 8},
+		} {
+			if got := contendedScenario(t, tc.shards, tc.workers, fifo); got != ref {
+				t.Fatalf("fifo=%v: fingerprint diverged at hostShards=%d workers=%d",
+					fifo, tc.shards, tc.workers)
+			}
+		}
+	}
+}
+
+func TestRunTwiceDeterminism(t *testing.T) {
+	if a, b := contendedScenario(t, 4, 4, false), contendedScenario(t, 4, 4, false); a != b {
+		t.Fatal("identical runs diverged")
+	}
+}
+
+// TestTrunkRouting maps a foreign host id onto an attached port, modeling an
+// uplink toward a neighboring switch: forwarding is purely table-driven.
+func TestTrunkRouting(t *testing.T) {
+	h := newHarness(t, 2, 2, 1, baseCfg())
+	h.sw.Route(99, 1)
+	trunkRecv := 0
+	for len(h.sw.deliver) <= 99 {
+		h.sw.deliver = append(h.sw.deliver, nil)
+	}
+	h.sw.deliver[99] = func(p *sim.Proc, pkt Packet) { trunkRecv++ }
+	h.sw.hostShard[99] = h.hosts[1].ID()
+	h.sender(0, 99, 5, 512, ClassRPC, sim.Microsecond)
+	if err := h.eng.Run(20 * sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if trunkRecv != 5 {
+		t.Fatalf("trunk delivered %d, want 5", trunkRecv)
+	}
+}

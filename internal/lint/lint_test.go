@@ -46,11 +46,13 @@ func TestTimelintClean(t *testing.T) { linttest.Run(t, "testdata/time_clean", li
 func TestExhaustlintBad(t *testing.T)   { linttest.Run(t, "testdata/exhaust_bad", lint.Exhaustlint) }
 func TestExhaustlintClean(t *testing.T) { linttest.Run(t, "testdata/exhaust_clean", lint.Exhaustlint) }
 
-// TestShardlintSelfCheck proves the analyzer fires: with the topology layer
-// removed from the boundary allowlist, every cluster-package Link.Send and
-// Engine.Connect must be flagged; with the real allowlist, the module must
-// be clean. (Shardlint cannot use self-contained fixtures — it matches the
-// real shard package's method identities.)
+// TestShardlintSelfCheck proves the analyzer fires: with the topology
+// layers (cluster, fabric) removed from the boundary allowlist, every
+// Link.Send and Engine.Connect they issue — since the fabric refactor,
+// the switch owns all of the cluster's link traffic — must be flagged;
+// with the real allowlist, the module must be clean. (Shardlint cannot use
+// self-contained fixtures — it matches the real shard package's method
+// identities.)
 func TestShardlintSelfCheck(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")

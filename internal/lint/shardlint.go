@@ -14,7 +14,7 @@ import (
 // only catches at simulation time (and only on exercised paths). Shardlint
 // moves that to compile time: Link.Send and Engine.Connect may appear only
 // in the shard runtime itself and in packages that assemble shard
-// topologies (internal/cluster). Audited exceptions carry
+// topologies (internal/cluster, internal/fabric). Audited exceptions carry
 // //ccnic:shard-boundary with a rationale.
 var Shardlint = &Analyzer{
 	Name: "shardlint",
@@ -29,6 +29,7 @@ var Shardlint = &Analyzer{
 var shardBoundaryPkgs = map[string]bool{
 	"ccnic/internal/sim/shard": true,
 	"ccnic/internal/cluster":   true,
+	"ccnic/internal/fabric":    true,
 }
 
 const (

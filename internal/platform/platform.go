@@ -304,22 +304,44 @@ func (p *Platform) RemoteAccess() sim.Time { return p.RemoteDRAM }
 // these servers into a cluster: one top-of-rack switch hop of 100GbE-class
 // Ethernet. These numbers are not paper calibration inputs (the paper
 // measures a single machine); they are representative datacenter values
-// used by the multi-host cluster model (internal/cluster), where WireLat
-// doubles as the conservative lookahead of every fabric shard boundary.
+// used by the modeled switch (internal/fabric) and the multi-host cluster
+// model (internal/cluster), where HopLat is the conservative lookahead of
+// every host-switch shard boundary.
 type FabricParams struct {
-	// WireLat is the one-way propagation plus switching latency between
-	// any two hosts. It must be strictly positive: it bounds how far
-	// apart two shards' clocks can drift, so it is the parallel
-	// engine's lookahead.
+	// WireLat is the end-to-end one-way propagation plus switching
+	// latency between any two hosts through an uncontended switch:
+	// 2*HopLat + RouteLat. Kept as the single-number summary of the
+	// fabric's unloaded latency.
 	WireLat sim.Time
-	// BW is the per-host fabric bandwidth, bytes per nanosecond.
+	// HopLat is the one-way cable propagation plus PHY/MAC latency of a
+	// single host-to-switch (or switch-to-host) hop. It must be strictly
+	// positive: it bounds how far apart the host and switch shards'
+	// clocks can drift, so it is the parallel engine's lookahead.
+	HopLat sim.Time
+	// RouteLat is the switch's internal forwarding latency: ingress
+	// parse, lookup, and crossbar traversal, before egress queuing.
+	RouteLat sim.Time
+	// SchedLat is the egress arbitration granularity: the delay between
+	// a packet becoming queued at an idle egress port and the scheduler
+	// making its next service decision. It also quantizes decisions so
+	// that same-instant arrivals never race the arbiter (internal/fabric
+	// relies on this for partition invariance).
+	SchedLat sim.Time
+	// BW is the per-port fabric bandwidth, bytes per nanosecond.
 	BW float64
 }
 
 // Fabric returns the cluster fabric joining hosts of this platform:
-// 100GbE (12.5 B/ns) through one switch at 750ns one way.
+// 100GbE (12.5 B/ns) through one switch, 750ns one way unloaded
+// (300ns per hop of cable+PHY, 150ns of switch forwarding).
 func (p *Platform) Fabric() FabricParams {
-	return FabricParams{WireLat: 750 * sim.Nanosecond, BW: 12.5}
+	return FabricParams{
+		WireLat:  750 * sim.Nanosecond,
+		HopLat:   300 * sim.Nanosecond,
+		RouteLat: 150 * sim.Nanosecond,
+		SchedLat: 25 * sim.Nanosecond,
+		BW:       12.5,
+	}
 }
 
 // NICParams describes a PCIe NIC ASIC pipeline.
