@@ -10,11 +10,14 @@
 #                     (kernel, parallel shard engine, cluster model)
 #   make bench-smoke  one-iteration pass over the kernel + headline benches,
 #                     then the benchgate regression + absolute-floor gates
-#                     vs BENCH_PR9.json (relative factor, events/s floor,
+#                     vs BENCH_PR10.json (relative factor, events/s floor,
 #                     and the multi-shard cluster + fabric-incast
 #                     trajectory points)
 #   make fabric       quick fabric matrix: fairness/invariance tests and the
 #                     fabric experiment family with invariants attached
+#   make chaos        quick chaos matrix: in-fabric fault classes against the
+#                     reliable transport (failover, degraded mode, the
+#                     no-silent-loss ledger) and the chaos experiments
 #   make faults       quick fault matrix: property harness, recovery-path
 #                     tests, and fault experiments with invariants attached
 #   make protocols    quick protocol matrix: differential + transition tests,
@@ -31,9 +34,9 @@
 
 GO ?= go
 
-.PHONY: check verify lint lint-json vet race bench-smoke faults protocols fabric bench-json golden-check golden-shards golden
+.PHONY: check verify lint lint-json vet race bench-smoke faults protocols fabric chaos bench-json golden-check golden-shards golden
 
-check: verify lint vet race bench-smoke faults protocols fabric golden-check
+check: verify lint vet race bench-smoke faults protocols fabric chaos golden-check
 
 verify:
 	$(GO) build ./...
@@ -88,8 +91,18 @@ fabric:
 	$(GO) test -count=1 -run 'Fairness|Flow|Tenant|Signaling' ./internal/cluster/
 	$(GO) run ./cmd/ccbench -quick -check fabric-incast fabric-isolation fabric-crossover > /dev/null
 
+# Quick local chaos matrix: the in-fabric fault classes (portflap, corrupt,
+# blackhole, brownout) against the reliable transport — failover/fail-back,
+# degraded mode, circuit breakers, and the no-silent-loss ledger — plus the
+# chaos experiment family with the invariant engine attached. The full
+# class x seed x shard grid runs in CI (chaos-matrix job).
+chaos:
+	$(GO) test -count=1 -run 'Fault|Outage|Brownout' ./internal/fabric/
+	$(GO) test -count=1 -run 'Reliable|Failover|Bounded|Degraded|Breaker' ./internal/cluster/
+	$(GO) run ./cmd/ccbench -quick -check fabric-portflap failover-recovery > /dev/null
+
 bench-json:
-	$(GO) run ./cmd/ccbench -all -cluster -fabric -json BENCH_PR9.json
+	$(GO) run ./cmd/ccbench -all -cluster -fabric -json BENCH_PR10.json
 
 # Every experiment at full scale with the invariant engine attached; output
 # must be bit-identical to the committed transcript. ccbench exits 1 on any

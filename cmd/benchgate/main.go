@@ -21,7 +21,7 @@
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_PR9.json [-factor 3] [-floor 2e5] [-msfloor 5.73e6] [-fabfloor 2.4e6] [id...]
+//	benchgate -baseline BENCH_PR10.json [-factor 3] [-floor 2e5] [-msfloor 5.73e6] [-fabfloor 2.4e6] [id...]
 package main
 
 import (
@@ -63,7 +63,7 @@ func main() {
 	if os.Getenv("GOGC") == "" {
 		debug.SetGCPercent(400)
 	}
-	basePath := flag.String("baseline", "BENCH_PR9.json", "perf-trajectory `file` written by ccbench -json")
+	basePath := flag.String("baseline", "BENCH_PR10.json", "perf-trajectory `file` written by ccbench -json")
 	factor := flag.Float64("factor", 3.0, "fail when baseline/current exceeds this ratio")
 	floor := flag.Float64("floor", 2e5, "fail when any re-measured experiment rate falls below `min` events/s")
 	msFloor := flag.Float64("msfloor", 5.73e6, "fail when the baseline multi_shard rate falls below `min` events/s (0 disables)")

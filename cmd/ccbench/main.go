@@ -15,6 +15,10 @@
 //	                          trajectory points (cmd/benchgate floors them)
 //	ccbench -ports 16 fabric-incast
 //	                          sweep the fabric experiments' switch fan-in
+//	ccbench -fabric -reliable -faults "seed=7,portflap=0.01"
+//	                          chaos-run the fabric scenario: injected port
+//	                          flaps on the redundant pair, recovered by the
+//	                          reliable transport (no-silent-loss checked)
 //	ccbench -cpuprofile cpu.pprof -memprofile mem.pprof fig13
 //	                          capture pprof profiles of the host hot path
 package main
@@ -111,6 +115,8 @@ func main() {
 	hostsFlag := flag.Int("hosts", 0, "cluster member nodes for -cluster (default max(shards, 8))")
 	portsFlag := flag.Int("ports", 0, "cap the fabric experiments' switch fan-in at `N` ports (0 = experiment defaults; refused with -golden/-hashes)")
 	fabricFlag := flag.Bool("fabric", false, "run the switched-fabric incast scenario and record its aggregate rate (the fabric_incast trajectory point)")
+	reliableFlag := flag.Bool("reliable", false, "arm the end-to-end reliable transport in the -cluster/-fabric scenarios (timeouts, retransmission, failover; pairs with -faults fabric classes like portflap)")
+	switchesFlag := flag.Int("switches", 0, "fabric switches for the -cluster/-fabric scenarios: 1 or 2 (redundant, with health-probe failover; default 1, or 2 with -reliable)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ccbench [-quick] [-json file] [-all | -list | <id>...]\n\n")
 		fmt.Fprintf(os.Stderr, "Regenerates the CC-NIC paper's evaluation tables and figures.\n\n")
@@ -210,6 +216,18 @@ func main() {
 		if *goldenPath != "" || *hashesPath != "" {
 			fatalf("ccbench: -ports changes the fabric sweep geometry; golden and hash runs pin the defaults")
 		}
+	}
+	if *switchesFlag < 0 || *switchesFlag > 2 {
+		fatalf("ccbench: -switches models 1 or 2 fabric switches")
+	}
+	if *switchesFlag == 0 {
+		*switchesFlag = 1
+		if *reliableFlag {
+			*switchesFlag = 2 // the transport's failover needs somewhere to go
+		}
+	}
+	if *switchesFlag == 2 && !*reliableFlag {
+		fatalf("ccbench: -switches 2 needs -reliable (routing across the redundant pair is the transport's job)")
 	}
 	if *checkFlag {
 		check.EnableAuto()
@@ -341,12 +359,18 @@ func main() {
 		if mp := runtime.GOMAXPROCS(0); clusterWorkers > mp {
 			clusterWorkers = mp
 		}
-		c := cluster.New(cluster.Config{Hosts: hosts, Workers: clusterWorkers, Faults: plan})
+		c := cluster.New(cluster.Config{Hosts: hosts, Workers: clusterWorkers, Faults: plan,
+			Reliable: *reliableFlag, Switches: *switchesFlag})
 		start := time.Now()
 		if err := c.Run(until); err != nil {
 			fatalf("ccbench: cluster: %v", err)
 		}
 		wall := time.Since(start)
+		if *reliableFlag {
+			if err := c.CheckDelivery(); err != nil {
+				fatalf("ccbench: cluster: %v", err)
+			}
+		}
 		rep := c.Report()
 		events := c.Events()
 		rate := float64(events) / wall.Seconds()
@@ -384,12 +408,14 @@ func main() {
 			srcs[i] = i + 1
 		}
 		c := cluster.New(cluster.Config{
-			Hosts:   ports,
-			Workers: fabricWorkers,
-			Window:  8,
-			ReqSize: 512,
-			Pattern: cluster.PatternIncast,
-			Faults:  plan,
+			Hosts:    ports,
+			Workers:  fabricWorkers,
+			Window:   8,
+			ReqSize:  512,
+			Pattern:  cluster.PatternIncast,
+			Faults:   plan,
+			Reliable: *reliableFlag,
+			Switches: *switchesFlag,
 			Flows: []cluster.FlowSpec{{
 				Name: "ads", Srcs: srcs, Dst: 0, Dist: "ads",
 				MeanGap: 800 * sim.Nanosecond, Tenants: 128,
@@ -401,6 +427,11 @@ func main() {
 			fatalf("ccbench: fabric: %v", err)
 		}
 		wall := time.Since(start)
+		if *reliableFlag {
+			if err := c.CheckDelivery(); err != nil {
+				fatalf("ccbench: fabric: %v", err)
+			}
+		}
 		rep := c.Report()
 		events := c.Events()
 		rate := float64(events) / wall.Seconds()

@@ -50,6 +50,8 @@ func main() {
 		fifo     = flag.Bool("fifo", false, "cluster workload: FIFO fabric scheduling instead of DRR fair queuing")
 		bulk     = flag.Int("bulk", 0, "cluster workload: saturating 8KiB bulk tenants aimed at host 0 (`N` generators)")
 		signal   = flag.String("signal", "ccnic", "cluster workload: host-NIC signaling model, ccnic or pcie")
+		reliable = flag.Bool("reliable", false, "cluster workload: arm the end-to-end reliable transport (timeouts, retransmission, degraded mode; prints recovery counters)")
+		switches = flag.Int("switches", 0, "cluster workload: fabric switches, 1 or 2 (redundant pair with health-probe failover; default 1, or 2 with -reliable)")
 	)
 	flag.Parse()
 
@@ -66,6 +68,7 @@ func main() {
 			hosts: *hosts, shards: *shards, window: *window, reqSize: *pkt,
 			measureUS: *measure, plan: plan,
 			incast: *incast, fifo: *fifo, bulk: *bulk, signal: *signal,
+			reliable: *reliable, switches: *switches,
 		})
 		return
 	}
@@ -186,11 +189,24 @@ type clusterOpts struct {
 	incast, fifo                   bool
 	bulk                           int
 	signal                         string
+	reliable                       bool
+	switches                       int
 }
 
 // runCluster drives the multi-host cluster workload on the parallel shard
 // engine and prints its report.
 func runCluster(o clusterOpts) {
+	if o.switches < 0 || o.switches > 2 {
+		fmt.Fprintln(os.Stderr, "ccnicsim: -switches models 1 or 2 fabric switches")
+		os.Exit(1)
+	}
+	if o.switches == 0 && o.reliable {
+		o.switches = 2 // give the transport's failover somewhere to go
+	}
+	if o.switches == 2 && !o.reliable {
+		fmt.Fprintln(os.Stderr, "ccnicsim: -switches 2 needs -reliable (the transport owns routing across the pair)")
+		os.Exit(1)
+	}
 	cfg := ccnic.ClusterConfig{
 		Hosts:      o.hosts,
 		Shards:     o.shards,
@@ -198,6 +214,8 @@ func runCluster(o clusterOpts) {
 		ReqSize:    o.reqSize,
 		Faults:     o.plan,
 		FabricFIFO: o.fifo,
+		Reliable:   o.reliable,
+		Switches:   o.switches,
 	}
 	if o.incast || o.bulk > 0 {
 		cfg.Pattern = cluster.PatternIncast
@@ -234,7 +252,17 @@ func runCluster(o clusterOpts) {
 		fmt.Fprintf(os.Stderr, "ccnicsim: cluster: %v\n", err)
 		os.Exit(1)
 	}
+	// Report.String surfaces the recovery counters (retransmits, degraded
+	// entries, failovers, probes) whenever the armed transport exercised
+	// them.
 	fmt.Print(c.Report())
+	if o.reliable {
+		if err := c.CheckDelivery(); err != nil {
+			fmt.Fprintf(os.Stderr, "ccnicsim: cluster: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("delivery ledger: no silent loss (sent = done + exhausted + pending on every node)")
+	}
 	st := c.FaultStats()
 	if st.Total() > 0 {
 		fmt.Printf("\n%s", st.Format())

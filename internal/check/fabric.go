@@ -54,6 +54,9 @@ func (e *FabricEngine) port(port int) {
 	if err := e.sw.CheckPort(port); err != nil {
 		e.fail(err)
 	}
+	if err := e.sw.CheckConservation(); err != nil {
+		e.fail(err)
+	}
 	if e.checks-e.flushed >= 1024 {
 		totalChecks.Add(e.checks - e.flushed)
 		e.flushed = e.checks

@@ -27,6 +27,11 @@ type ClusterScenario struct {
 	FIFO     bool
 	Incast   bool
 	BulkFlow bool
+
+	// Reliability axes (PR 10): the end-to-end transport, the redundant
+	// two-switch topology, and in-fabric fault classes.
+	Reliable bool
+	Switches int
 }
 
 func (sc ClusterScenario) String() string {
@@ -42,6 +47,9 @@ func (sc ClusterScenario) String() string {
 	}
 	if sc.BulkFlow {
 		s += " bulkflow"
+	}
+	if sc.Reliable {
+		s += fmt.Sprintf(" reliable sw=%d", sc.Switches)
 	}
 	return s
 }
@@ -61,6 +69,17 @@ func GenerateCluster(seed int64) ClusterScenario {
 	sc.FIFO = rng.Intn(2) == 1
 	sc.Incast = rng.Intn(4) == 0
 	sc.BulkFlow = rng.Intn(3) == 0
+	// PR 10 axes, drawn after everything older so legacy seed shapes hold.
+	sc.Reliable = rng.Intn(3) == 0
+	sc.Switches = 1
+	if sc.Reliable {
+		sc.Switches = 1 + rng.Intn(2)
+		if rng.Intn(2) == 0 {
+			// In-fabric faults: the transport must recover with the ledger
+			// balanced at every partition.
+			sc.Faults = fmt.Sprintf("seed=%d,portflap=0.01,corrupt=0.01,blackhole=0.01", seed)
+		}
+	}
 	return sc
 }
 
@@ -77,6 +96,8 @@ func (sc ClusterScenario) RunShards(shards, workers int) string {
 		Window:     sc.Window,
 		ReqSize:    sc.ReqSize,
 		FabricFIFO: sc.FIFO,
+		Reliable:   sc.Reliable,
+		Switches:   sc.Switches,
 	}
 	if sc.Incast {
 		cfg.Pattern = cluster.PatternIncast
@@ -112,5 +133,15 @@ func (sc ClusterScenario) RunShards(shards, workers int) string {
 	// re-partitioning byte-for-byte.
 	fp += fmt.Sprintf(" fwd=%d drop=%d fsent=%d fdel=%d fp99=%d",
 		r.Forwarded, r.Dropped, r.FlowSent, r.FlowDelivered, r.FlowP99)
+	if sc.Reliable {
+		// Armed transports additionally assert the no-silent-loss ledger at
+		// the cutoff, and fingerprint every recovery counter.
+		if err := c.CheckDelivery(); err != nil {
+			panic(fmt.Sprintf("prop: cluster %s: %v", sc, err))
+		}
+		fp += fmt.Sprintf(" retx=%d to=%d exh=%d dup=%d deg=%d shed=%d fo=%d fb=%d pr=%d/%d fd=%d",
+			r.Retransmits, r.Timeouts, r.Exhausted, r.DupResps, r.Degraded, r.Shed,
+			r.Failovers, r.Failbacks, r.ProbesSent, r.ProbesMissed, r.FaultDrops)
+	}
 	return fp
 }

@@ -107,9 +107,60 @@ type Config struct {
 	// Flows arms aggregated open-loop tenant flow generators (flows.go).
 	Flows []FlowSpec
 	// Faults optionally arms fault injection; each node derives its own
-	// stream with Faults.ForShard(node id), so schedules are reproducible
+	// stream with Faults.ForShard(node id) and each switch its own with
+	// Faults.ForFabric(switch index), so schedules are reproducible
 	// regardless of Shards and Workers.
 	Faults *fault.Plan
+
+	// Reliable arms the end-to-end transport (reliable.go): per-RPC
+	// timeouts, retransmission with exponential backoff and a retry
+	// budget, duplicate suppression, SLO-aware degraded mode, per-tenant
+	// circuit breakers, and (with Switches == 2) health-probe-driven
+	// failover. Off by default: an unreliable run is byte-identical to
+	// the pre-transport model.
+	Reliable bool
+	// Switches selects the fabric topology: 1 (default) or 2 redundant
+	// switches, every host attached to both at the same port number.
+	Switches int
+	// RTO is the base per-RPC retransmission timeout (default 20us); it
+	// doubles with each retransmission of the same RPC.
+	RTO sim.Time
+	// RetryBudget bounds retransmissions per RPC (default 3). Past the
+	// budget the RPC is retired as Exhausted — accounted, never silent.
+	RetryBudget int
+	// ProbeEvery is the per-(node, switch) health-probe cadence (default
+	// 5us). A probe is a self-addressed packet through the switch; it must
+	// return before the next tick or it counts as a miss.
+	ProbeEvery sim.Time
+	// ProbeWindow and ProbeMisses tune K-of-N miss detection: a switch is
+	// declared unhealthy at >= ProbeMisses misses in the last ProbeWindow
+	// probes (defaults 8 and 3) and healthy again only after a clean
+	// window (zero misses — the fail-back hysteresis).
+	ProbeWindow, ProbeMisses int
+	// DegradedWindow is how long a node sheds bulk-class flow traffic
+	// after transport distress (default 15us).
+	DegradedWindow sim.Time
+	// BreakerTrip is the consecutive tracked-flow timeouts that trip a
+	// tenant's circuit breaker (default 2); BreakerHold is how long the
+	// breaker stays open (default 30us).
+	BreakerTrip int
+	BreakerHold sim.Time
+	// Outages scripts deterministic port outages on the switches, for
+	// recovery-timeline experiments and tests.
+	Outages []ScriptedOutage
+	// PhaseMarks partitions each node's RPC latency histogram into
+	// phases: records at instants <= mark fall in the phase before it.
+	// Phase assignment is a pure function of the record timestamp, so it
+	// is partition-invariant by construction.
+	PhaseMarks []sim.Time
+}
+
+// ScriptedOutage is one scripted administrative outage: the given port of
+// the given switch admits nothing for From <= now < To.
+type ScriptedOutage struct {
+	Switch   int
+	Port     int
+	From, To sim.Time
 }
 
 // Message is one RPC (or its response, or one open-loop flow packet)
@@ -129,6 +180,12 @@ type Message struct {
 	// Tracked marks the sampled tail of a flow: only tracked packets get
 	// a response and a latency record (per-flow state stays O(samples)).
 	Tracked bool
+
+	// Via is the switch index the packet crosses (0 on single-switch
+	// topologies); the sender reads it from its routing table.
+	Via uint8
+	// Probe marks a self-addressed health probe (reliable.go).
+	Probe bool
 
 	// Sender-drawn perturbations (see the package comment): a TX pipeline
 	// stall and egress latency spike for the request, a service-side
@@ -161,20 +218,48 @@ type Node struct {
 	winWake  *sim.Event
 	seq      int64
 
+	// Reliable-transport state (reliable.go; nil/empty when !Reliable).
+	// All of it is node-local: read and written only on this node's
+	// shard, so every counter is partition-invariant.
+	pend       map[int64]*pendRPC // outstanding RPCs by Seq
+	flowPend   map[int64]*flowTrack
+	retxHeap   []retxEntry // deadline min-heap (at, seq)
+	retxWake   *sim.Event
+	routeVia   []uint8 // per destination: current switch
+	dstStrikes []int   // per destination: consecutive timeouts
+	swHealthy  []bool  // per switch: probe-derived health
+	probeRing  []uint64
+	probeAwait []int64
+	probeGot   []bool
+	probeSeq   int64
+	distress      int
+	degradedUntil sim.Time
+	phaseIdx      int
+
 	// Results (deterministic).
 	Sent, Served, Done int64
 	Lat                stats.Histogram
+	// Phases holds the latency histograms of completed PhaseMarks phases.
+	Phases []stats.Histogram
 	// Flow-side results: packets this node generated, and the tracked
 	// round-trip tail measured back at this node.
 	FlowSent int64
 	FlowLat  stats.Histogram
+	// Recovery counters (all zero when the transport is off).
+	Retransmits, Timeouts, Exhausted, DupResps int64
+	Degraded, Shed, BreakerTrips, FlowTimeouts int64
+	Failovers, Failbacks                       int64
+	ProbesSent, ProbesMissed                   int64
 }
 
 // Cluster is an assembled multi-host simulation.
 type Cluster struct {
 	Engine *shard.Engine
 	Nodes  []*Node
-	Switch *fabric.Switch
+	// Switch is the primary fabric switch; Switches lists all of them
+	// (len 1 unless Config.Switches selects the redundant topology).
+	Switch   *fabric.Switch
+	Switches []*fabric.Switch
 
 	cfg       Config
 	plat      *platform.Platform
@@ -203,6 +288,41 @@ func New(cfg Config) *Cluster {
 	}
 	if cfg.ReqSize <= 0 {
 		cfg.ReqSize = 4096
+	}
+	if cfg.Switches <= 0 {
+		cfg.Switches = 1
+	}
+	if cfg.Switches > 2 {
+		panic("cluster: at most 2 redundant switches are modeled")
+	}
+	if cfg.RTO <= 0 {
+		cfg.RTO = 20 * sim.Microsecond
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 3
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 5 * sim.Microsecond
+	}
+	if cfg.ProbeWindow <= 0 || cfg.ProbeWindow > 64 {
+		cfg.ProbeWindow = 8
+	}
+	if cfg.ProbeMisses <= 0 {
+		cfg.ProbeMisses = 3
+	}
+	if cfg.DegradedWindow <= 0 {
+		cfg.DegradedWindow = 15 * sim.Microsecond
+	}
+	if cfg.BreakerTrip <= 0 {
+		cfg.BreakerTrip = 2
+	}
+	if cfg.BreakerHold <= 0 {
+		cfg.BreakerHold = 30 * sim.Microsecond
+	}
+	for _, o := range cfg.Outages {
+		if o.Switch < 0 || o.Switch >= cfg.Switches {
+			panic(fmt.Sprintf("cluster: scripted outage on unknown switch %d", o.Switch))
+		}
 	}
 	plat := cfg.Plat
 	if plat == nil {
@@ -245,36 +365,55 @@ func New(cfg Config) *Cluster {
 		c.Nodes = append(c.Nodes, n)
 	}
 
-	// The switch, on its own shard. Each attach hop's latency — the
-	// declared lookahead — is the wire propagation plus the node's PCIe
-	// attach one-way time, crossed once in each direction. The DRR byte
-	// quantum covers a few RPCs per round but never less than a bulk
-	// MTU's worth of progress.
+	// The switches, each on its own shard. Each attach hop's latency —
+	// the declared lookahead — is the wire propagation plus the node's
+	// PCIe attach one-way time, crossed once in each direction. The DRR
+	// byte quantum covers a few RPCs per round but never less than a bulk
+	// MTU's worth of progress. On the redundant topology every host is
+	// attached to both switches at the same port number; which switch a
+	// packet crosses is the sender's routing decision (Message.Via).
 	quantum := 2 * cfg.ReqSize
 	if quantum < 4096 {
 		quantum = 4096
 	}
-	c.Switch = fabric.New(c.Engine, "fabric", fabric.Config{
-		Ports:    cfg.Hosts,
-		BW:       c.fabric.BW,
-		HopLat:   c.fabric.HopLat + c.Nodes[0].ep.MinLatency(),
-		RouteLat: c.fabric.RouteLat,
-		SchedLat: c.fabric.SchedLat,
-		FlowCap:  cfg.FlowCap,
-		FIFO:     cfg.FabricFIFO,
-		Quantum:  quantum,
-	})
-	for i := range c.Nodes {
-		if port := c.Switch.Attach(c.Engine, i, shards[c.nodeShard[i]],
-			func(p *sim.Proc, pkt fabric.Packet) { c.receive(p, pkt.Payload.(Message)) },
-		); port != i {
-			panic("cluster: switch port assignment out of order")
+	for v := 0; v < cfg.Switches; v++ {
+		name := "fabric"
+		if v > 0 {
+			name = fmt.Sprintf("fabric%d", v)
+		}
+		var outages []fabric.Outage
+		for _, o := range cfg.Outages {
+			if o.Switch == v {
+				outages = append(outages, fabric.Outage{Port: o.Port, From: o.From, To: o.To})
+			}
+		}
+		sw := fabric.New(c.Engine, name, fabric.Config{
+			Ports:    cfg.Hosts,
+			BW:       c.fabric.BW,
+			HopLat:   c.fabric.HopLat + c.Nodes[0].ep.MinLatency(),
+			RouteLat: c.fabric.RouteLat,
+			SchedLat: c.fabric.SchedLat,
+			FlowCap:  cfg.FlowCap,
+			FIFO:     cfg.FabricFIFO,
+			Quantum:  quantum,
+			Faults:   fault.NewInjector(cfg.Faults.ForFabric(v)),
+			Outages:  outages,
+		})
+		c.Switches = append(c.Switches, sw)
+		for i := range c.Nodes {
+			if port := sw.Attach(c.Engine, i, shards[c.nodeShard[i]],
+				func(p *sim.Proc, pkt fabric.Packet) { c.receive(p, pkt.Payload.(Message)) },
+			); port != i {
+				panic("cluster: switch port assignment out of order")
+			}
 		}
 	}
+	c.Switch = c.Switches[0]
 
 	c.startFlows()
 	for _, n := range c.Nodes {
 		n.start()
+		n.startTransport()
 	}
 	return c
 }
@@ -295,11 +434,12 @@ func (c *Cluster) Events() uint64 {
 	return total
 }
 
-// send pushes a message into the switch from node `from`, with any
-// sender-side extra delay (egress serialization, drawn spikes) on top of
-// the hop propagation. All traffic — same-shard or not — takes this path.
+// send pushes a message into the switch named by m.Via from node `from`,
+// with any sender-side extra delay (egress serialization, drawn spikes) on
+// top of the hop propagation. All traffic — same-shard or not — takes this
+// path.
 func (c *Cluster) send(p *sim.Proc, from int, extra sim.Time, m Message) {
-	c.Switch.Ingress(p, extra, fabric.Packet{
+	c.Switches[m.Via].Ingress(p, extra, fabric.Packet{
 		Src: from, Dst: m.To, Class: m.Class, Bytes: m.Bytes, Payload: m,
 	})
 }
@@ -394,6 +534,10 @@ func (n *Node) start() {
 			p.Sleep(plat.L2Hit)  // header fill
 			p.Sleep(doorbell)    // host→NIC signal (CC-NIC or PCIe model)
 			m.Sent = p.Now()
+			if n.c.cfg.Reliable {
+				m.Via = n.routeVia[dst]
+				n.registerRPC(p.Now(), m)
+			}
 			n.txq = append(n.txq, m)
 			n.Sent++
 			n.inFlight++
@@ -435,11 +579,23 @@ func (c *Cluster) receive(p *sim.Proc, m Message) {
 	n := c.Nodes[m.To]
 	plat := c.plat
 	p.Sleep(plat.LLCHit) // DDIO deposit + descriptor write
+	if m.Probe {
+		n.probeReturned(m)
+		return
+	}
 	if m.Flow > 0 {
 		c.receiveFlow(p, n, m)
 		return
 	}
 	if m.Resp {
+		if c.cfg.Reliable && !n.completeRPC(m) {
+			// Late response to an RPC already completed (an earlier
+			// attempt won) or retired: suppress the duplicate. The
+			// window was already released.
+			n.DupResps++
+			return
+		}
+		n.phaseRoll(p.Now())
 		n.Lat.Record(p.Now() - m.Sent)
 		n.Done++
 		n.inFlight--
@@ -458,6 +614,12 @@ func (c *Cluster) receive(p *sim.Proc, m Message) {
 	resp := Message{
 		From: m.To, To: m.From, Seq: m.Seq, Resp: true, Sent: m.Sent,
 		Bytes: c.cfg.ReqSize, Class: fabric.ClassRPC,
+	}
+	if c.cfg.Reliable {
+		// The responder routes by its own table: an outage between the
+		// requester and switch 0 usually bites both directions of that
+		// port, and the responder's probes notice it independently.
+		resp.Via = n.routeVia[m.From]
 	}
 	p.Sleep(plat.L2Hit) // response header
 	c.send(p, m.To, c.nicSer(c.cfg.ReqSize)+m.respSpike, resp)
@@ -482,6 +644,16 @@ type Report struct {
 	// Switch-level results.
 	Forwarded, Dropped int64
 	FabricSummary      string
+
+	// Recovery counters (reliable.go; all zero when the transport is off,
+	// so the rendered report stays byte-identical to the pre-transport
+	// model on unarmed runs).
+	Retransmits, Timeouts, Exhausted, DupResps int64
+	Degraded, Shed, BreakerTrips, FlowTimeouts int64
+	Failovers, Failbacks                       int64
+	ProbesSent, ProbesMissed                   int64
+	Pending                                    int64
+	FaultDrops                                 int64
 }
 
 // Report aggregates the cluster's counters.
@@ -527,7 +699,35 @@ func (c *Cluster) Report() Report {
 	r.Forwarded = st.Forwarded()
 	r.Dropped = st.Drops()
 	r.FabricSummary = st.String()
+
+	for _, n := range c.Nodes {
+		r.Retransmits += n.Retransmits
+		r.Timeouts += n.Timeouts
+		r.Exhausted += n.Exhausted
+		r.DupResps += n.DupResps
+		r.Degraded += n.Degraded
+		r.Shed += n.Shed
+		r.BreakerTrips += n.BreakerTrips
+		r.FlowTimeouts += n.FlowTimeouts
+		r.Failovers += n.Failovers
+		r.Failbacks += n.Failbacks
+		r.ProbesSent += n.ProbesSent
+		r.ProbesMissed += n.ProbesMissed
+		r.Pending += int64(len(n.pend))
+	}
+	for _, sw := range c.Switches {
+		r.FaultDrops += sw.Stats().FaultDrops()
+	}
 	return r
+}
+
+// recovering reports whether any recovery machinery fired: the gate for the
+// report's recovery lines (absent counters keep unarmed fingerprints
+// byte-identical to the pre-transport model).
+func (r Report) recovering() bool {
+	return r.Retransmits|r.Timeouts|r.Exhausted|r.DupResps|
+		r.Degraded|r.Shed|r.BreakerTrips|r.FlowTimeouts|
+		r.Failovers|r.Failbacks|r.ProbesSent|r.ProbesMissed|r.Pending != 0
 }
 
 // String renders the report (and doubles as the determinism fingerprint:
@@ -543,19 +743,41 @@ func (r Report) String() string {
 			r.FlowSent, r.FlowDelivered, float64(r.FlowBytes)/1e6,
 			r.FlowP50, r.FlowP99, r.TenantsSeen, 100*r.TopTenantShare)
 	}
+	if r.recovering() {
+		fmt.Fprintf(&b, "recovery: %d retransmits (%d timeouts, %d exhausted, %d dup), %d pending\n",
+			r.Retransmits, r.Timeouts, r.Exhausted, r.DupResps, r.Pending)
+		fmt.Fprintf(&b, "recovery: %d degraded entries, %d shed, %d breaker trips (%d flow timeouts)\n",
+			r.Degraded, r.Shed, r.BreakerTrips, r.FlowTimeouts)
+		fmt.Fprintf(&b, "recovery: %d failovers, %d failbacks, probes %d sent / %d missed\n",
+			r.Failovers, r.Failbacks, r.ProbesSent, r.ProbesMissed)
+	}
 	return b.String()
 }
 
-// FaultStats aggregates injected-fault counters across nodes (zero when
-// unarmed).
+// FlowStats returns the delivered packet and byte counts of flow spec i —
+// the per-class view the degraded-mode experiment contrasts (aggregate
+// totals live in Report).
+func (c *Cluster) FlowStats(i int) (delivered, bytes int64) {
+	return c.flows[i].delivered, c.flows[i].bytes
+}
+
+// FaultStats aggregates injected-fault counters across nodes and switches
+// (zero when unarmed).
 func (c *Cluster) FaultStats() fault.Stats {
 	var agg fault.Stats
-	for _, n := range c.Nodes {
-		if s := n.flt.Stats(); s != nil {
-			for cl := 0; cl < int(fault.NumClasses); cl++ {
-				agg.Injected[cl] += s.Injected[cl]
-			}
+	add := func(s *fault.Stats) {
+		if s == nil {
+			return
 		}
+		for cl := 0; cl < int(fault.NumClasses); cl++ {
+			agg.Injected[cl] += s.Injected[cl]
+		}
+	}
+	for _, n := range c.Nodes {
+		add(n.flt.Stats())
+	}
+	for _, sw := range c.Switches {
+		add(sw.Faults().Stats())
 	}
 	return agg
 }

@@ -59,6 +59,14 @@ type flowAgg struct {
 	tenants   []int64
 }
 
+// flowGen is one generator's reliability state (per spec x source, armed
+// only under Config.Reliable): the per-tenant circuit breakers fed by
+// tracked-packet timeouts. Owned by the source node's shard.
+type flowGen struct {
+	strikes   []int      // consecutive tracked timeouts per tenant
+	openUntil []sim.Time // breaker-open deadline per tenant
+}
+
 // startFlows validates and defaults the flow specs and spawns their
 // generators.
 func (c *Cluster) startFlows() {
@@ -114,6 +122,14 @@ func (c *Cluster) startGenerator(si int, spec FlowSpec, src int) {
 		zipf = traffic.NewZipf(seed+2, spec.Tenants, spec.ZipfS)
 	}
 
+	var g *flowGen
+	if c.cfg.Reliable {
+		g = &flowGen{
+			strikes:   make([]int, spec.Tenants),
+			openUntil: make([]sim.Time, spec.Tenants),
+		}
+	}
+
 	n.k.Spawn(fmt.Sprintf("n%d.flow.%s", src, spec.Name), func(p *sim.Proc) {
 		// The generator's NIC egress line: a busy-until accumulator, so
 		// back-to-back packets queue behind each other's serialization
@@ -121,6 +137,9 @@ func (c *Cluster) startGenerator(si int, spec FlowSpec, src int) {
 		var egressFree sim.Time
 		for seq := int64(0); ; seq++ {
 			p.Sleep(sim.Time(rng.ExpFloat64() * float64(spec.MeanGap)))
+			// Every draw is consumed before any shed decision, so the
+			// stream's state — and thus every later packet — is identical
+			// whether or not this packet is shed (determinism under faults).
 			bytes := spec.Bytes
 			if dist != nil {
 				bytes = dist.Next()
@@ -129,13 +148,30 @@ func (c *Cluster) startGenerator(si int, spec FlowSpec, src int) {
 			if zipf != nil {
 				tenant = zipf.Next()
 			}
+			if g != nil {
+				// SLO-aware shedding: in degraded mode only the bulk class
+				// is shed — the latency class keeps the full path. An open
+				// tenant breaker sheds that tenant regardless of class. A
+				// shed packet never touches the NIC egress line.
+				if (spec.Class == fabric.ClassBulk && p.Now() < n.degradedUntil) ||
+					p.Now() < g.openUntil[tenant] {
+					n.Shed++
+					continue
+				}
+			}
 			m := Message{
 				From: src, To: spec.Dst, Seq: seq, Flow: si + 1,
 				Tenant: tenant, Bytes: bytes, Class: spec.Class,
 			}
+			if g != nil {
+				m.Via = n.routeVia[spec.Dst]
+			}
 			if spec.TrackEvery > 0 && seq%int64(spec.TrackEvery) == 0 {
 				m.Tracked = true
 				m.Sent = p.Now()
+				if g != nil {
+					n.trackFlow(p.Now(), si+1, seq, g, tenant)
+				}
 			}
 			start := p.Now()
 			if egressFree > start {
@@ -152,6 +188,9 @@ func (c *Cluster) startGenerator(si int, spec FlowSpec, src int) {
 // response completing its round trip back at the generator's host.
 func (c *Cluster) receiveFlow(p *sim.Proc, n *Node, m Message) {
 	if m.Resp {
+		if c.cfg.Reliable {
+			n.flowResponded(m.Flow, m.Seq)
+		}
 		n.FlowLat.Record(p.Now() - m.Sent)
 		return
 	}
@@ -167,6 +206,9 @@ func (c *Cluster) receiveFlow(p *sim.Proc, n *Node, m Message) {
 		resp := Message{
 			From: m.To, To: m.From, Seq: m.Seq, Resp: true, Flow: m.Flow,
 			Tracked: true, Sent: m.Sent, Bytes: trackRespBytes, Class: fabric.ClassRPC,
+		}
+		if c.cfg.Reliable {
+			resp.Via = n.routeVia[m.From]
 		}
 		c.send(p, m.To, c.nicSer(trackRespBytes), resp)
 	}

@@ -20,6 +20,8 @@ func TestRegistryComplete(t *testing.T) {
 		"proto-sweep",
 		// Switched-fabric family (internal/fabric).
 		"fabric-incast", "fabric-isolation", "fabric-crossover",
+		// Reliability chaos family (redundant fabric + reliable transport).
+		"fabric-portflap", "failover-recovery",
 	}
 	for _, id := range want {
 		e := ByID(id)

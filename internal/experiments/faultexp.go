@@ -299,7 +299,12 @@ func runFaultsRecovery(opt Options) *Report {
 			fmt.Sprintf("%d", st.Backoffs),
 			fmt.Sprintf("%d", st.Drops))
 	}
-	for _, c := range fault.Classes() {
+	// Endpoint classes only: the fabric classes (portflap, corrupt,
+	// blackhole, brownout) have no opportunity points on a single-machine
+	// testbed — their recovery paths live in the cluster transport and are
+	// exercised by the chaos experiments (fabric-portflap,
+	// failover-recovery) instead.
+	for _, c := range fault.EndpointClasses() {
 		st, workload := faultLoopStats(c, opt)
 		row(c.String(), workload, st)
 	}

@@ -52,6 +52,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ccnic/internal/fault"
 	"ccnic/internal/sim"
 	"ccnic/internal/sim/shard"
 )
@@ -139,6 +140,26 @@ type Config struct {
 	// (default 1 << 16 messages; the real bounded buffers are the
 	// switch's own queues, so attach links are sized to never bind).
 	LinkCap int
+	// Faults optionally arms the switch-side fault classes (portflap,
+	// corrupt, blackhole, brownout). Draws are stateless hashes of the
+	// packet's (source, per-source sequence) identity, so an armed switch
+	// stays partition-invariant and an unarmed one is byte-identical to a
+	// fault-free build (see internal/fault).
+	Faults *fault.Injector
+	// Outages scripts deterministic administrative port outages on top of
+	// (or instead of) drawn flaps — the chaos experiments use them to place
+	// a fault at an exact instant on a known port.
+	Outages []Outage
+	// BrownoutFactor is the serialization derate applied while an egress
+	// port is browned out (default 4: the port runs at quarter rate).
+	BrownoutFactor int
+}
+
+// Outage is one scripted administrative outage: port admits nothing (in
+// either direction) for From <= now < To.
+type Outage struct {
+	Port     int
+	From, To sim.Time
 }
 
 // Probe observes switch queuing for online validation (internal/check).
@@ -163,6 +184,32 @@ var AutoAttach func(*Switch)
 type entry struct {
 	at  sim.Time
 	pkt Packet
+}
+
+// window is a fault-effect interval with the same strictness discipline as
+// queue eligibility: a window opened by a draw at instant t affects only
+// decisions at instants strictly after t, and same-instant extensions
+// commute (the start is kept, the end max-merges). That makes the window
+// state at any instant a pure function of the set of (draw instant, span)
+// pairs — never of the partition-dependent order in which same-instant
+// arrivals executed their draws.
+type window struct {
+	from, until sim.Time
+}
+
+// extend opens (or prolongs) the window from a draw at instant now.
+func (w *window) extend(now sim.Time, span sim.Time) {
+	if now >= w.until {
+		w.from = now
+	}
+	if until := now + span; until > w.until {
+		w.until = until
+	}
+}
+
+// active reports whether the window affects a decision at instant now.
+func (w *window) active(now sim.Time) bool {
+	return w.from < now && now < w.until
 }
 
 // vq is one egress (source, class) virtual queue plus its DRR state.
@@ -196,11 +243,16 @@ type egress struct {
 	serQ   int  // packets picked and still serializing onto the wire (0 or 1)
 	wake   *sim.Event
 
+	// brown is the port's brownout window: while active, serialization
+	// runs at cfg.BrownoutFactor times the normal time.
+	brown window
+
 	// counters (PortStats)
 	admitted  int64
 	forwarded int64
 	sentBytes int64
 	drops     int64
+	downDrops int64 // refused at egress admission: destination port down
 	classPkts [NumClasses]int64
 	highWater int
 }
@@ -210,6 +262,11 @@ type ingress struct {
 	inFlight int
 	admitted int64
 	drops    int64
+
+	// fault-domain drops, each accounted where the packet died.
+	downDrops      int64 // arrival refused: the packet's own port is down
+	blackholeDrops int64 // discarded by the routing stage (blackhole window)
+	corruptDrops   int64 // discarded at the frame check (in-switch corruption)
 }
 
 // Switch is a modeled output-queued switch on its own shard.
@@ -223,6 +280,12 @@ type Switch struct {
 	ports   []*egress
 	ins     []*ingress
 	deliver []DeliverFunc // per attached host id
+
+	// Fault-domain state (all touched only on the switch shard).
+	flt       *fault.Injector
+	srcSeq    []uint64 // per source host: arrival sequence (the draw identity)
+	portDown  []window // per port: drawn flap outage
+	blackhole []window // per destination host: routing blackhole window
 
 	// links, keyed by the attached host's shard id.
 	up   map[int]*shard.Link // host shard -> switch
@@ -263,9 +326,19 @@ func New(e *shard.Engine, name string, cfg Config) *Switch {
 	if cfg.LinkCap <= 0 {
 		cfg.LinkCap = 1 << 16
 	}
+	if cfg.BrownoutFactor <= 1 {
+		cfg.BrownoutFactor = 4
+	}
+	for _, o := range cfg.Outages {
+		if o.Port < 0 || o.Port >= cfg.Ports || o.From < 0 || o.To <= o.From {
+			panic(fmt.Sprintf("fabric: invalid scripted outage %+v", o))
+		}
+	}
 	sw := &Switch{
 		name:      name,
 		cfg:       cfg,
+		flt:       cfg.Faults,
+		portDown:  make([]window, cfg.Ports),
 		up:        make(map[int]*shard.Link),
 		down:      make(map[int]*shard.Link),
 		hostShard: make(map[int]int),
@@ -368,10 +441,27 @@ func (sw *Switch) Ingress(p *sim.Proc, extra sim.Time, pkt Packet) {
 }
 
 // arrive runs on the switch shard for each packet delivered by an up link:
-// ingress admission, the routing pipeline, then egress admission.
+// port-down admission, ingress admission, the routing pipeline (blackhole
+// and frame checks), then egress admission. Every fault draw is keyed by
+// the packet's (source, per-source sequence) identity, taken here in the
+// source's own send order — see the fault-domain notes in internal/fault.
 func (sw *Switch) arrive(p *sim.Proc, pkt Packet) {
 	inPort := sw.portOf(pkt.Src)
 	in := sw.ins[inPort]
+	var seq uint64
+	if sw.flt != nil {
+		seq = sw.nextSeq(pkt.Src)
+		if span := sw.flt.PortDown(pkt.Src, seq); span > 0 {
+			sw.portDown[inPort].extend(p.Now(), span)
+		}
+	}
+	if sw.isDown(inPort, p.Now()) {
+		in.downDrops++
+		if sw.probe != nil {
+			sw.probe.Dropped(sw, inPort, pkt, true)
+		}
+		return
+	}
 	if in.inFlight >= sw.cfg.IngressCap {
 		in.drops++
 		if sw.probe != nil {
@@ -384,8 +474,46 @@ func (sw *Switch) arrive(p *sim.Proc, pkt Packet) {
 	p.Sleep(sw.cfg.RouteLat)
 	in.inFlight--
 
+	if sw.flt != nil {
+		// Routing stage: a drawn blackhole window swallows everything
+		// routed toward this destination; an in-switch corruption fails
+		// the frame check on this packet alone.
+		if span := sw.flt.Blackhole(pkt.Src, seq); span > 0 {
+			sw.extendBlackhole(pkt.Dst, p.Now(), span)
+		}
+		if sw.blackholed(pkt.Dst, p.Now()) {
+			in.blackholeDrops++
+			if sw.probe != nil {
+				sw.probe.Dropped(sw, inPort, pkt, true)
+			}
+			return
+		}
+		if sw.flt.FabricCorrupt(pkt.Src, seq) {
+			in.corruptDrops++
+			if sw.probe != nil {
+				sw.probe.Dropped(sw, inPort, pkt, true)
+			}
+			return
+		}
+	}
+
 	outPort := sw.portOf(pkt.Dst)
 	eg := sw.ports[outPort]
+	if sw.isDown(outPort, p.Now()) {
+		// Egress admission toward a downed port is refused; packets
+		// already queued on it keep draining (the flap gates admission,
+		// not the store-and-forward pipeline).
+		eg.downDrops++
+		if sw.probe != nil {
+			sw.probe.Dropped(sw, outPort, pkt, false)
+		}
+		return
+	}
+	if sw.flt != nil {
+		if span := sw.flt.Brownout(pkt.Src, seq); span > 0 {
+			eg.brown.extend(p.Now(), span)
+		}
+	}
 	f := &eg.flows[sw.flowIdx(pkt)]
 	if f.len() >= sw.cfg.FlowCap {
 		eg.drops++
@@ -405,6 +533,48 @@ func (sw *Switch) arrive(p *sim.Proc, pkt Packet) {
 	}
 	eg.wake.Signal()
 }
+
+// nextSeq returns the per-source arrival sequence number, the stable draw
+// identity: a source's packets reach the switch in its own send order, so
+// this counter is invariant under any host partition.
+func (sw *Switch) nextSeq(src int) uint64 {
+	for len(sw.srcSeq) <= src {
+		sw.srcSeq = append(sw.srcSeq, 0)
+	}
+	sw.srcSeq[src]++
+	return sw.srcSeq[src]
+}
+
+// isDown reports whether a port refuses admission at instant now, from a
+// drawn flap window or a scripted outage.
+func (sw *Switch) isDown(port int, now sim.Time) bool {
+	if sw.portDown[port].active(now) {
+		return true
+	}
+	for _, o := range sw.cfg.Outages {
+		if o.Port == port && o.From <= now && now < o.To {
+			return true
+		}
+	}
+	return false
+}
+
+// extendBlackhole opens or prolongs the blackhole window of a destination.
+func (sw *Switch) extendBlackhole(dst int, now, span sim.Time) {
+	for len(sw.blackhole) <= dst {
+		sw.blackhole = append(sw.blackhole, window{})
+	}
+	sw.blackhole[dst].extend(now, span)
+}
+
+// blackholed reports whether dst is inside an active blackhole window.
+func (sw *Switch) blackholed(dst int, now sim.Time) bool {
+	return dst < len(sw.blackhole) && sw.blackhole[dst].active(now)
+}
+
+// Faults returns the switch's injector (nil when unarmed), for stats
+// aggregation.
+func (sw *Switch) Faults() *fault.Injector { return sw.flt }
 
 // portOf resolves a virtual address, panicking on unrouted destinations (a
 // topology bug, not a runtime condition).
@@ -447,7 +617,14 @@ func (sw *Switch) egressLoop(p *sim.Proc, eg *egress) {
 		}
 		eg.queued--
 		eg.serQ++
-		p.Sleep(sw.SerTime(e.pkt.Bytes))
+		ser := sw.SerTime(e.pkt.Bytes)
+		if eg.brown.active(p.Now()) {
+			// Browned-out transceiver: the wire runs derated. The window
+			// test uses the service-start instant, itself strictly later
+			// than the draw that opened the window.
+			ser *= sim.Time(sw.cfg.BrownoutFactor)
+		}
+		p.Sleep(ser)
 		eg.serQ--
 		eg.forwarded++
 		eg.sentBytes += int64(e.pkt.Bytes)
@@ -546,6 +723,11 @@ type PortStats struct {
 	ClassPkts       [NumClasses]int64
 	HighWater       int // peak queued packets
 	Queued          int // packets still queued (nonzero mid-run)
+
+	// Fault-domain drops (zero on an unarmed switch).
+	PortDownDrops  int64 // refused at a downed port (arrival + egress sides)
+	BlackholeDrops int64 // swallowed by a routing blackhole window
+	CorruptDrops   int64 // discarded at the frame check
 }
 
 // Stats aggregates the switch's counters.
@@ -562,11 +744,20 @@ func (s Stats) Forwarded() int64 {
 	return t
 }
 
-// Drops sums ingress and egress drops across ports.
+// Drops sums ingress and egress drops across ports (fault drops included).
 func (s Stats) Drops() int64 {
 	var t int64
 	for _, p := range s.Ports {
-		t += p.EgressDrops + p.IngressDrops
+		t += p.EgressDrops + p.IngressDrops + p.PortDownDrops + p.BlackholeDrops + p.CorruptDrops
+	}
+	return t
+}
+
+// FaultDrops sums the fault-domain drops across ports.
+func (s Stats) FaultDrops() int64 {
+	var t int64
+	for _, p := range s.Ports {
+		t += p.PortDownDrops + p.BlackholeDrops + p.CorruptDrops
 	}
 	return t
 }
@@ -596,6 +787,17 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "fabric: %d pkts forwarded (%d rpc, %d bulk), %d drops, %.1f MB",
 		s.Forwarded(), s.ClassPkts(ClassRPC), s.ClassPkts(ClassBulk), s.Drops(),
 		float64(s.Bytes())/1e6)
+	// The fault-domain breakdown appears only when something fired, so a
+	// fault-free run's fingerprint is byte-identical to pre-fault builds.
+	if fd := s.FaultDrops(); fd > 0 {
+		var down, black, corrupt int64
+		for _, p := range s.Ports {
+			down += p.PortDownDrops
+			black += p.BlackholeDrops
+			corrupt += p.CorruptDrops
+		}
+		fmt.Fprintf(&b, " [fault drops: %d portdown, %d blackhole, %d corrupt]", down, black, corrupt)
+	}
 	return b.String()
 }
 
@@ -614,6 +816,9 @@ func (sw *Switch) Stats() Stats {
 			ClassPkts:       eg.classPkts,
 			HighWater:       eg.highWater,
 			Queued:          eg.queued,
+			PortDownDrops:   sw.ins[i].downDrops + eg.downDrops,
+			BlackholeDrops:  sw.ins[i].blackholeDrops,
+			CorruptDrops:    sw.ins[i].corruptDrops,
 		}
 	}
 	return st
@@ -650,6 +855,30 @@ func (sw *Switch) CheckPort(port int) error {
 	if eg.admitted != eg.forwarded+int64(eg.queued)+int64(eg.serQ) {
 		return fmt.Errorf("fabric %s port %d: conservation broken: admitted %d != forwarded %d + queued %d + serializing %d",
 			sw.name, port, eg.admitted, eg.forwarded, eg.queued, eg.serQ)
+	}
+	return nil
+}
+
+// CheckConservation validates packet conservation across the whole switch:
+// every ingress-admitted packet must be in the routing pipeline, accounted
+// as a fault or tail drop, queued, serializing, or forwarded — the no-
+// silent-loss half that lives inside the fabric (the transport half lives
+// in cluster.CheckDelivery). internal/check runs it alongside CheckPort.
+func (sw *Switch) CheckConservation() error {
+	var inAdm, inFlight, routeDrops int64
+	for _, in := range sw.ins {
+		inAdm += in.admitted
+		inFlight += int64(in.inFlight)
+		routeDrops += in.blackholeDrops + in.corruptDrops
+	}
+	var egAdm, egRefused int64
+	for _, eg := range sw.ports {
+		egAdm += eg.admitted
+		egRefused += eg.drops + eg.downDrops
+	}
+	if inAdm != inFlight+routeDrops+egRefused+egAdm {
+		return fmt.Errorf("fabric %s: switch conservation broken: ingress-admitted %d != in-pipeline %d + route drops %d + egress-refused %d + egress-admitted %d",
+			sw.name, inAdm, inFlight, routeDrops, egRefused, egAdm)
 	}
 	return nil
 }

@@ -55,18 +55,51 @@ const (
 	// host: a co-runner evicting lines adds latency to coherent accesses.
 	CachePressure
 
+	// --- Fabric fault domain (PR 10). These classes perturb the switched
+	// fabric (internal/fabric), not the host/NIC edge. They are drawn with
+	// stateless splitmix64 hashes keyed by (plan seed, class, source host,
+	// per-source packet sequence) rather than a shared PRNG stream: switch
+	// arrivals from different sources interleave in a partition-dependent
+	// order, and a hash draw per (source, seq) identity is invariant under
+	// any interleaving while still being a pure function of the plan.
+
+	// FabricPortDown models a port going administratively down (flap): the
+	// port stops admitting packets — ingress from the attached host and
+	// egress admission toward it both drop — for a seeded repair window.
+	FabricPortDown
+	// FabricCorrupt models in-switch packet corruption past the ingress
+	// pipeline: the frame check fails at egress admission and the packet is
+	// discarded (and accounted; the transport must retransmit).
+	FabricCorrupt
+	// FabricBlackhole models a transient routing blackhole: for a seeded
+	// window every packet routed toward one destination is silently
+	// discarded by the forwarding stage (accounted at the switch).
+	FabricBlackhole
+	// FabricBrownout models an egress brownout: a seeded window during
+	// which one port serializes at a fraction of its line rate (a failing
+	// transceiver), inflating queueing delay without dropping packets.
+	FabricBrownout
+
 	NumClasses
 )
 
 var classNames = [NumClasses]string{
-	LinkCorrupt:   "link",
-	PCIeReplay:    "replay",
-	DoorbellDrop:  "dbdrop",
-	DoorbellDup:   "dbdup",
-	PipelineStall: "stall",
-	DMADelay:      "dma",
-	CachePressure: "cache",
+	LinkCorrupt:     "link",
+	PCIeReplay:      "replay",
+	DoorbellDrop:    "dbdrop",
+	DoorbellDup:     "dbdup",
+	PipelineStall:   "stall",
+	DMADelay:        "dma",
+	CachePressure:   "cache",
+	FabricPortDown:  "portflap",
+	FabricCorrupt:   "corrupt",
+	FabricBlackhole: "blackhole",
+	FabricBrownout:  "brownout",
 }
+
+// NumEndpointClasses counts the original host/NIC-edge classes; fabric
+// classes follow them in declaration order.
+const NumEndpointClasses = CachePressure + 1
 
 // String returns the short spec name of the class (as used in ParsePlan).
 func (c Class) String() string {
@@ -81,6 +114,28 @@ func Classes() []Class {
 	out := make([]Class, NumClasses)
 	for i := range out {
 		out[i] = Class(i)
+	}
+	return out
+}
+
+// EndpointClasses returns the host/NIC-edge classes (the PR 4 set): the
+// opportunity points consulted by interconn/pcie/device/coherence and the
+// cluster node pipelines. Fault sweeps over testbeds that have no fabric
+// iterate these, keeping their tables independent of fabric-class growth.
+func EndpointClasses() []Class {
+	out := make([]Class, NumEndpointClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// FabricClasses returns the switch-side classes consulted by
+// internal/fabric's decision points.
+func FabricClasses() []Class {
+	out := make([]Class, 0, NumClasses-NumEndpointClasses)
+	for c := NumEndpointClasses; c < NumClasses; c++ {
+		out = append(out, c)
 	}
 	return out
 }
@@ -146,6 +201,11 @@ func (p *Plan) ForShard(shard int) *Plan {
 	return &q
 }
 
+// ForFabric derives the plan for one switch of the fabric: same rates, seed
+// mixed with a negative identity disjoint from every node id, so a switch's
+// hash draws are independent of all node streams and of sibling switches.
+func (p *Plan) ForFabric(sw int) *Plan { return p.ForShard(-(sw + 1)) }
+
 // ParsePlan parses a plan spec of the form
 //
 //	seed=7,link=0.002,dbdrop=0.01
@@ -181,7 +241,7 @@ func ParsePlan(spec string) (*Plan, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fault plan: bad rate %q for %q: %v", val, key, err)
 		}
-		if r < 0 || r > 1 {
+		if r != r || r < 0 || r > 1 {
 			return nil, fmt.Errorf("fault plan: rate for %q must be in [0,1], got %g", key, r)
 		}
 		if key == "all" {
@@ -409,4 +469,89 @@ func (f *Injector) CachePressure() sim.Time {
 		return 0
 	}
 	return f.span(20*sim.Nanosecond, 100*sim.Nanosecond)
+}
+
+// --- Fabric opportunity points (stateless hash draws).
+//
+// Switch-side draws cannot share a PRNG stream: same-instant arrivals from
+// different sources execute in a partition-dependent order, so stream
+// consumption order would differ between shard counts. Instead each draw is
+// a pure splitmix64 hash of (plan seed, class, source host, per-source
+// arrival sequence). A source's packets arrive at the switch in the source's
+// own send order, so the (src, seq) identity — and hence the schedule — is
+// invariant under any partition, and unarmed classes compute nothing.
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// hashDraw decides whether class c fires for packet (src, seq) and returns
+// a second independent hash value for sizing the effect.
+func (f *Injector) hashDraw(c Class, src int, seq uint64) (bool, uint64) {
+	if f == nil {
+		return false, 0
+	}
+	r := f.plan.Rate[c]
+	if r <= 0 {
+		return false, 0
+	}
+	z := uint64(f.plan.Seed) + 0x9E3779B97F4A7C15*uint64(c+1)
+	z = mix64(z + 0xD1B54A32D192ED03*uint64(src+1))
+	z = mix64(z + seq)
+	if float64(z>>11)*(1.0/(1<<53)) >= r {
+		return false, 0
+	}
+	f.stats.Injected[c]++
+	return true, mix64(z + 0x8CB92BA72F3D8DD7)
+}
+
+// hashSpan maps a hash value onto [lo, hi).
+func hashSpan(v uint64, lo, hi sim.Time) sim.Time {
+	return lo + sim.Time(v%uint64(hi-lo))
+}
+
+// PortDown is the switch ingress opportunity point, consulted once per
+// packet arriving from src. On injection it returns the repair time of a
+// port flap — the port admits nothing for that long; 0 otherwise.
+func (f *Injector) PortDown(src int, seq uint64) sim.Time {
+	fire, v := f.hashDraw(FabricPortDown, src, seq)
+	if !fire {
+		return 0
+	}
+	return hashSpan(v, 2*sim.Microsecond, 8*sim.Microsecond)
+}
+
+// FabricCorrupt is the switch pipeline opportunity point: whether this
+// packet is corrupted in-switch and discarded at the frame check.
+func (f *Injector) FabricCorrupt(src int, seq uint64) bool {
+	fire, _ := f.hashDraw(FabricCorrupt, src, seq)
+	return fire
+}
+
+// Blackhole is the switch routing opportunity point, consulted once per
+// routed packet. On injection it returns the length of a window during
+// which the packet's destination is blackholed; 0 otherwise.
+func (f *Injector) Blackhole(src int, seq uint64) sim.Time {
+	fire, v := f.hashDraw(FabricBlackhole, src, seq)
+	if !fire {
+		return 0
+	}
+	return hashSpan(v, 1*sim.Microsecond, 4*sim.Microsecond)
+}
+
+// Brownout is the switch egress opportunity point. On injection it returns
+// the length of a window during which the packet's egress port serializes
+// at a derated rate; 0 otherwise.
+func (f *Injector) Brownout(src int, seq uint64) sim.Time {
+	fire, v := f.hashDraw(FabricBrownout, src, seq)
+	if !fire {
+		return 0
+	}
+	return hashSpan(v, 1500*sim.Nanosecond, 4*sim.Microsecond)
 }

@@ -174,7 +174,8 @@ func TestSpansWithinBounds(t *testing.T) {
 }
 
 func TestClassStrings(t *testing.T) {
-	want := []string{"link", "replay", "dbdrop", "dbdup", "stall", "dma", "cache"}
+	want := []string{"link", "replay", "dbdrop", "dbdup", "stall", "dma", "cache",
+		"portflap", "corrupt", "blackhole", "brownout"}
 	if int(NumClasses) != len(want) {
 		t.Fatalf("NumClasses=%d, want %d", NumClasses, len(want))
 	}
@@ -188,5 +189,111 @@ func TestClassStrings(t *testing.T) {
 	}
 	if got := Classes(); len(got) != int(NumClasses) || got[0] != LinkCorrupt {
 		t.Errorf("Classes() = %v", got)
+	}
+	// The endpoint/fabric split partitions the class list in order.
+	ep, fb := EndpointClasses(), FabricClasses()
+	if len(ep)+len(fb) != int(NumClasses) {
+		t.Fatalf("EndpointClasses (%d) + FabricClasses (%d) != NumClasses (%d)", len(ep), len(fb), NumClasses)
+	}
+	if ep[len(ep)-1] != CachePressure || fb[0] != FabricPortDown || fb[len(fb)-1] != FabricBrownout {
+		t.Errorf("class split wrong: endpoint %v fabric %v", ep, fb)
+	}
+}
+
+func TestParsePlanEdgeCases(t *testing.T) {
+	// Later entries override earlier ones, including duplicates of one key.
+	p, err := ParsePlan("link=0.1,link=0.2")
+	if err != nil || p.Rate[LinkCorrupt] != 0.2 {
+		t.Errorf("duplicate key: %+v, %v", p, err)
+	}
+	// all= then a per-class override: only that class changes.
+	p, err = ParsePlan("all=0.1,portflap=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rate[FabricPortDown] != 0.5 || p.Rate[LinkCorrupt] != 0.1 || p.Rate[FabricBrownout] != 0.1 {
+		t.Errorf("all+override ordering: %+v", p)
+	}
+	// A later all= clobbers earlier per-class entries.
+	p, err = ParsePlan("portflap=0.5,all=0.1")
+	if err != nil || p.Rate[FabricPortDown] != 0.1 {
+		t.Errorf("all after class: %+v, %v", p, err)
+	}
+	// Negative, NaN, and infinite rates are rejected.
+	for _, bad := range []string{"portflap=-0.1", "link=NaN", "corrupt=nan", "blackhole=+Inf", "brownout=-Inf"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+	// The unknown-class error names every valid class, new ones included.
+	_, err = ParsePlan("flaky=0.1")
+	if err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	for _, name := range []string{"portflap", "corrupt", "blackhole", "brownout", "all", "seed", "link"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-class error missing %q: %v", name, err)
+		}
+	}
+}
+
+// TestFabricDrawsPartitionInvariant: a fabric draw is a pure function of
+// (plan, src, seq) — re-evaluating in any order, interleaved with other
+// sources and unarmed probes, yields the same schedule.
+func TestFabricDrawsPartitionInvariant(t *testing.T) {
+	plan, _ := ParsePlan("seed=9,portflap=0.2,blackhole=0.2")
+	f := NewInjector(plan)
+	g := NewInjector(plan)
+	type draw struct{ flap, black sim.Time }
+	want := make(map[[2]uint64]draw)
+	for src := 0; src < 3; src++ {
+		for seq := uint64(0); seq < 200; seq++ {
+			want[[2]uint64{uint64(src), seq}] = draw{f.PortDown(src, seq), f.Blackhole(src, seq)}
+		}
+	}
+	// Reverse order, interleaved with unarmed classes, on a fresh injector.
+	for seq := int64(199); seq >= 0; seq-- {
+		for src := 2; src >= 0; src-- {
+			if g.FabricCorrupt(src, uint64(seq)) || g.Brownout(src, uint64(seq)) != 0 {
+				t.Fatal("unarmed fabric class fired")
+			}
+			got := draw{g.PortDown(src, uint64(seq)), g.Blackhole(src, uint64(seq))}
+			if got != want[[2]uint64{uint64(src), uint64(seq)}] {
+				t.Fatalf("draw (%d,%d) order-dependent: %+v vs %+v", src, seq,
+					got, want[[2]uint64{uint64(src), uint64(seq)}])
+			}
+		}
+	}
+	// Spans stay within the documented windows.
+	hot, _ := ParsePlan("seed=3,all=1")
+	h := NewInjector(hot)
+	for seq := uint64(0); seq < 300; seq++ {
+		if d := h.PortDown(1, seq); d < 2*sim.Microsecond || d >= 8*sim.Microsecond {
+			t.Fatalf("portflap span out of range: %v", d)
+		}
+		if d := h.Blackhole(1, seq); d < sim.Microsecond || d >= 4*sim.Microsecond {
+			t.Fatalf("blackhole span out of range: %v", d)
+		}
+		if d := h.Brownout(1, seq); d < 1500*sim.Nanosecond || d >= 4*sim.Microsecond {
+			t.Fatalf("brownout span out of range: %v", d)
+		}
+		if !h.FabricCorrupt(1, seq) {
+			t.Fatal("corrupt at rate 1 did not fire")
+		}
+	}
+	if h.Stats().Injected[FabricCorrupt] != 300 {
+		t.Errorf("corrupt injections %d, want 300", h.Stats().Injected[FabricCorrupt])
+	}
+	// Nil injectors stay inert on the fabric points too.
+	var nilf *Injector
+	if nilf.PortDown(0, 0) != 0 || nilf.FabricCorrupt(0, 0) || nilf.Blackhole(0, 0) != 0 || nilf.Brownout(0, 0) != 0 {
+		t.Error("nil injector fired a fabric draw")
+	}
+	// ForFabric derives distinct, reproducible switch streams.
+	if a, b := plan.ForFabric(0), plan.ForFabric(1); a.Seed == b.Seed || a.Seed == plan.Seed {
+		t.Errorf("ForFabric seeds not distinct: %d %d %d", plan.Seed, a.Seed, b.Seed)
+	}
+	if a, b := plan.ForFabric(0), plan.ForFabric(0); a.Seed != b.Seed {
+		t.Error("ForFabric not reproducible")
 	}
 }
